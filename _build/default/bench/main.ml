@@ -1,0 +1,430 @@
+(* Benchmark harness: regenerates every table/figure-equivalent of the
+   paper's evaluation (its worked examples and comparisons, per DESIGN.md
+   §4) and times each with Bechamel.
+
+   Output: first a "reproduction report" — the measured rows next to the
+   paper's claims — then an OLS time-per-run table, one Test.make per
+   experiment. *)
+
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+module E = Counting.Engine
+module L = Loopapps.Loopnest
+
+let v s = A.var (V.named s)
+let k n = A.of_int n
+
+let env_of l name =
+  match List.assoc_opt name l with
+  | Some x -> Zint.of_int x
+  | None -> raise Not_found
+
+let eval value l = Zint.to_int_exn (Counting.Value.eval_zint (env_of l) value)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment definitions                                               *)
+
+let intro_queries =
+  [
+    "count { i : 1 <= i <= 10 }";
+    "count { i : 1 <= i <= n }";
+    "count { i, j : 1 <= i <= n and 1 <= j <= n }";
+    "count { i, j : 1 <= i < j <= n }";
+  ]
+
+let run_query q =
+  let p = Preslang.parse_query q in
+  E.sum ~vars:p.Preslang.vars p.Preslang.formula p.Preslang.summand
+
+let pitfall = "count { i, j : 1 <= i <= n and i <= j <= m }"
+
+let example1_formula =
+  F.and_
+    [
+      F.between (k 1) (v "i") (v "n");
+      F.between (k 1) (v "j") (v "i");
+      F.between (v "j") (v "kk") (v "m");
+    ]
+
+let example2_formula =
+  F.and_
+    [
+      F.between (k 1) (v "i") (v "n");
+      F.between (k 3) (v "j") (v "i");
+      F.between (v "j") (v "kk") (k 5);
+    ]
+
+let example3_formula =
+  F.and_
+    [
+      F.between (k 1) (v "i") (A.scale Zint.two (v "n"));
+      F.between (k 1) (v "j") (v "i");
+      F.leq (A.add (v "i") (v "j")) (A.scale Zint.two (v "n"));
+    ]
+
+let example4_formula =
+  F.exists
+    [ V.named "i"; V.named "j" ]
+    (F.and_
+       [
+         F.between (k 1) (v "i") (k 8);
+         F.between (k 1) (v "j") (k 5);
+         F.eq (v "x")
+           (A.add_const
+              (A.add (A.scale (Zint.of_int 6) (v "i"))
+                 (A.scale (Zint.of_int 9) (v "j")))
+              (Zint.of_int (-7)));
+       ])
+
+let example6_formula =
+  F.and_
+    [
+      F.geq (v "i") (k 1);
+      F.leq (v "j") (v "n");
+      F.leq (A.scale Zint.two (v "i")) (A.scale (Zint.of_int 3) (v "j"));
+    ]
+
+let sor =
+  {
+    L.loops =
+      [
+        L.loop "i" (k 2) (A.add_const (v "N") Zint.minus_one);
+        L.loop "j" (k 2) (A.add_const (v "N") Zint.minus_one);
+      ];
+    guards = [];
+    flops_per_iteration = 6;
+    accesses =
+      [
+        { L.array = "a"; subscripts = [ v "i"; v "j" ] };
+        { L.array = "a"; subscripts = [ A.add_const (v "i") Zint.minus_one; v "j" ] };
+        { L.array = "a"; subscripts = [ A.add_const (v "i") Zint.one; v "j" ] };
+        { L.array = "a"; subscripts = [ v "i"; A.add_const (v "j") Zint.minus_one ] };
+        { L.array = "a"; subscripts = [ v "i"; A.add_const (v "j") Zint.one ] };
+      ];
+  }
+
+(* Section 2.6 formula (the 12 ms simplification on a 1992 Sun SPARC). *)
+let section26_formula =
+  let i' = V.named "i'" in
+  let ai' = A.var i' and ai = v "i" and an = v "n" in
+  let not_ex parity =
+    let i'' = V.named "i''" and jj = V.named "jj" in
+    F.not_
+      (F.exists [ i''; jj ]
+         (F.and_
+            [
+              F.between (k 1) (A.var i'') (A.scale Zint.two an);
+              F.between (k 1) (A.var jj) (A.add_const an Zint.minus_one);
+              F.lt ai (A.var i'');
+              F.eq ai' (A.var i'');
+              (match parity with
+              | `Even -> F.eq (A.scale Zint.two (A.var jj)) (A.var i'')
+              | `Odd ->
+                  F.eq
+                    (A.add_const (A.scale Zint.two (A.var jj)) Zint.one)
+                    (A.var i''));
+            ]))
+  in
+  F.and_
+    [
+      F.between (k 1) ai (A.scale Zint.two an);
+      F.between (k 1) ai' (A.scale Zint.two an);
+      F.eq ai ai';
+      not_ex `Even;
+      not_ex `Odd;
+    ]
+
+(* Figure 1 system: ∃β. 0 ≤ 3β − α ≤ 7 ∧ 1 ≤ α − 2β ≤ 5. *)
+let fig1_clause () =
+  let beta = V.fresh_wild () in
+  let ab = A.var beta and aa = v "alpha" in
+  ( beta,
+    Omega.Clause.make
+      ~geqs:
+        [
+          A.sub (A.scale (Zint.of_int 3) ab) aa;
+          A.sub (A.add_const aa (Zint.of_int 7)) (A.scale (Zint.of_int 3) ab);
+          A.add_const (A.sub aa (A.scale Zint.two ab)) Zint.minus_one;
+          A.sub (A.add_const aa (Zint.of_int 5)) (A.scale Zint.two ab);
+        ]
+      () )
+
+let overlap_boxes kk =
+  List.init kk (fun t ->
+      Omega.Clause.make
+        ~geqs:
+          [
+            A.add_const (v "i") (Zint.of_int (-(3 * t)));
+            A.sub (k ((3 * t) + 5)) (v "i");
+          ]
+        ())
+
+(* ------------------------------------------------------------------ *)
+(* Reproduction report                                                  *)
+
+let report () =
+  let line = String.make 72 '-' in
+  Printf.printf "%s\nReproduction report (paper claim vs measured)\n%s\n" line line;
+
+  Printf.printf "\n[E0] Introduction's table of sums:\n";
+  List.iter
+    (fun q ->
+      let value = run_query q in
+      Printf.printf "  %-48s = %s\n" q (Counting.Value.to_string value))
+    intro_queries;
+
+  Printf.printf "\n[E0b] Mathematica pitfall (%s):\n" pitfall;
+  let guarded = run_query pitfall in
+  let q = Preslang.parse_query pitfall in
+  let naive =
+    E.sum ~opts:Counting.Baselines.naive_opts ~vars:q.Preslang.vars
+      q.Preslang.formula q.Preslang.summand
+  in
+  Printf.printf "  guarded   at (n=5,m=3): %d   (truth: 6)\n"
+    (eval guarded [ ("n", 5); ("m", 3) ]);
+  Printf.printf "  unguarded at (n=5,m=3): %d   (Mathematica-style, wrong)\n"
+    (eval naive [ ("n", 5); ("m", 3) ]);
+
+  Printf.printf "\n[E1] Example 1 (Tawbi): pieces ours vs fixed-order:\n";
+  let ours = E.count ~vars:[ "i"; "j"; "kk" ] example1_formula in
+  let tawbi =
+    E.count ~opts:Counting.Baselines.tawbi_opts ~vars:[ "i"; "j"; "kk" ]
+      example1_formula
+  in
+  Printf.printf "  flexible order: %d pieces (paper: 2)\n" (List.length ours);
+  Printf.printf "  fixed order:    %d pieces (paper: 3)\n" (List.length tawbi);
+  Printf.printf "  value at (n=10,m=7): %d = %d (both agree)\n"
+    (eval ours [ ("n", 10); ("m", 7) ])
+    (eval tawbi [ ("n", 10); ("m", 7) ]);
+
+  Printf.printf "\n[E2] Example 2 (HP93a): paper 6n-16 for n>=5:\n";
+  let e2 = E.count ~vars:[ "i"; "j"; "kk" ] example2_formula in
+  Printf.printf "  at n=20: %d (expect 104); pieces: %d\n"
+    (eval e2 [ ("n", 20) ])
+    (List.length e2);
+
+  Printf.printf "\n[E3] Example 3 (HP93a): paper n^2:\n";
+  let e3 = E.count ~vars:[ "i"; "j" ] example3_formula in
+  Printf.printf "  symbolic: %s\n" (Counting.Value.to_string e3);
+
+  Printf.printf "\n[E4] Example 4 (FST91): paper 25 distinct locations:\n";
+  let e4 = E.count ~vars:[ "x" ] example4_formula in
+  Printf.printf "  measured: %s\n" (Counting.Value.to_string e4);
+
+  Printf.printf "\n[E5a] Example 5 (SOR) memory: paper N^2-4, 249996 at N=500:\n";
+  let mem = L.touched_count sor ~array:"a" in
+  Printf.printf "  symbolic: %s\n" (Counting.Value.to_string mem);
+  Printf.printf "  at N=500: %d\n" (eval mem [ ("N", 500) ]);
+
+  Printf.printf "\n[E5b] Example 5 cache lines: paper 16000 at N=500:\n";
+  let cl = L.cache_line_count sor ~array:"a" ~words:16 ~base:1 in
+  Printf.printf "  at N=500: %d;  at N=17: %d (paper's form gives 32)\n"
+    (eval cl [ ("N", 500) ])
+    (eval cl [ ("N", 17) ]);
+
+  Printf.printf "\n[E6] Example 6: paper (3n^2+2n-(n mod 2))/4:\n";
+  let e6 =
+    Counting.Merge.merge_residues (E.count ~vars:[ "i"; "j" ] example6_formula)
+  in
+  Printf.printf "  merged symbolic: %s\n" (Counting.Value.to_string e6);
+
+  Printf.printf "\n[S26] Section 2.6 simplification (12 ms on a '92 SPARC):\n";
+  let t0 = Unix.gettimeofday () in
+  let cls = Omega.Dnf.of_formula section26_formula in
+  let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Printf.printf "  simplified to %d clauses in %.1f ms on this machine\n"
+    (List.length cls) dt;
+
+  Printf.printf "\n[S33] HPF block-cyclic (8 procs, block 4):\n";
+  let dist = { Loopapps.Hpf.procs = 8; block = 4 } in
+  let own = Loopapps.Hpf.ownership_count dist ~proc:0 in
+  Printf.printf "  proc 0 owns %d of T(0:1024) (expect 129)\n"
+    (eval own [ ("n", 1025) ]);
+  let msgs = Loopapps.Hpf.messages dist ~shift:1 in
+  Printf.printf "  shift-1 messages at n=1025: %d\n" (eval msgs [ ("n", 1025) ]);
+
+  Printf.printf "\n[F1] Figure 1: disjoint vs overlapping splintering:\n";
+  let beta, cl = fig1_clause () in
+  let over = Omega.Solve.project Omega.Solve.Exact_overlapping [ beta ] cl in
+  let beta2, cl2 = fig1_clause () in
+  let disj = Omega.Solve.project Omega.Solve.Exact_disjoint [ beta2 ] cl2 in
+  Printf.printf "  overlapping: %d clauses; disjoint: %d clauses\n"
+    (List.length over) (List.length disj);
+  Printf.printf "  disjointness verified: %b\n"
+    (Omega.Disjoint.pairwise_disjoint disj);
+
+  Printf.printf "\n[A3] FST91 inclusion-exclusion vs disjoint DNF (k boxes):\n";
+  List.iter
+    (fun kk ->
+      let boxes = overlap_boxes kk in
+      let _, summations =
+        Counting.Baselines.fst91_sum ~vars:[ "i" ] boxes Qpoly.one
+      in
+      let d = Omega.Disjoint.to_disjoint boxes in
+      Printf.printf "  k=%d: FST91 %2d summations; disjoint DNF %d clauses\n" kk
+        summations (List.length d))
+    [ 2; 3; 4; 5 ];
+
+  Printf.printf "\n[A4] Stencil summarization:\n";
+  List.iter
+    (fun (name, offsets) ->
+      match Loopapps.Stencil.hull_summary offsets with
+      | Some _ -> Printf.printf "  %-10s hull+lattice exact\n" name
+      | None -> Printf.printf "  %-10s falls back to 0-1 encoding\n" name)
+    [
+      ("4-point", [ [| 0; 0 |]; [| 1; 0 |]; [| 0; 1 |]; [| 1; 1 |] ]);
+      ("5-point", [ [| 0; 0 |]; [| -1; 0 |]; [| 1; 0 |]; [| 0; -1 |]; [| 0; 1 |] ]);
+      ( "9-point",
+        List.concat_map
+          (fun a -> List.map (fun b -> [| a; b |]) [ -1; 0; 1 ])
+          [ -1; 0; 1 ] );
+    ];
+
+  Printf.printf "\n[A5] Approximate counting, sum_{i=1}^{floor(n/3)} i at n=20:\n";
+  let f =
+    F.and_
+      [ F.geq (v "i") (k 1); F.leq (A.scale (Zint.of_int 3) (v "i")) (v "n") ]
+  in
+  let body = Qpoly.var "i" in
+  let exact = E.sum ~vars:[ "i" ] f body in
+  let upper =
+    E.sum ~opts:{ E.default with strategy = E.Upper } ~vars:[ "i" ] f body
+  in
+  let lower =
+    E.sum ~opts:{ E.default with strategy = E.Lower } ~vars:[ "i" ] f body
+  in
+  let at20 value = Counting.Value.eval (env_of [ ("n", 20) ]) value in
+  Printf.printf "  lower=%s exact=%s upper=%s\n"
+    (Qnum.to_string (at20 lower))
+    (Qnum.to_string (at20 exact))
+    (Qnum.to_string (at20 upper));
+
+  Printf.printf "\n[A6] Approximate DNF simplification (Sec 4.6):\n";
+  let fq =
+    F.and_
+      [
+        F.between (k 0) (v "x") (v "n");
+        F.exists
+          [ V.named "t" ]
+          (F.eq (v "x") (A.add_const (A.scale (Zint.of_int 3) (v "t")) Zint.two));
+      ]
+  in
+  let e = E.count ~vars:[ "x" ] fq in
+  let u = E.count ~opts:{ E.default with strategy = E.Upper } ~vars:[ "x" ] fq in
+  let l = E.count ~opts:{ E.default with strategy = E.Lower } ~vars:[ "x" ] fq in
+  let at n value = Counting.Value.eval (env_of [ ("n", n) ]) value in
+  Printf.printf
+    "  |{x in [0,n] : x = 2 mod 3}| at n=20: dark<=exact<=real: %s <= %s <= %s\n"
+    (Qnum.to_string (at 20 l))
+    (Qnum.to_string (at 20 e))
+    (Qnum.to_string (at 20 u));
+
+  Printf.printf "\n[A1/A2] Ablations (Example 1 engine statistics):\n";
+  let stats_flex = E.new_stats () in
+  ignore (E.count ~stats:stats_flex ~vars:[ "i"; "j"; "kk" ] example1_formula);
+  let stats_nored = E.new_stats () in
+  ignore
+    (E.count
+       ~opts:{ E.default with eliminate_redundant = false }
+       ~stats:stats_nored ~vars:[ "i"; "j"; "kk" ] example1_formula);
+  Printf.printf
+    "  with redundancy elim: %d pieces, %d bound splits; without: %d pieces, %d bound splits\n"
+    stats_flex.E.pieces stats_flex.E.bound_splits stats_nored.E.pieces
+    stats_nored.E.bound_splits;
+  Printf.printf "%s\n\n" line
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing                                                      *)
+
+open Bechamel
+open Toolkit
+
+let stage = Staged.stage
+
+let tests =
+  Test.make_grouped ~name:"omegacount"
+    [
+      Test.make ~name:"E0_intro_table"
+        (stage (fun () -> List.map run_query intro_queries));
+      Test.make ~name:"E0b_guarded_pitfall" (stage (fun () -> run_query pitfall));
+      Test.make ~name:"E1_example1"
+        (stage (fun () -> E.count ~vars:[ "i"; "j"; "kk" ] example1_formula));
+      Test.make ~name:"E1_example1_tawbi"
+        (stage (fun () ->
+             E.count ~opts:Counting.Baselines.tawbi_opts
+               ~vars:[ "i"; "j"; "kk" ] example1_formula));
+      Test.make ~name:"E2_example2"
+        (stage (fun () -> E.count ~vars:[ "i"; "j"; "kk" ] example2_formula));
+      Test.make ~name:"E3_example3"
+        (stage (fun () -> E.count ~vars:[ "i"; "j" ] example3_formula));
+      Test.make ~name:"E4_example4"
+        (stage (fun () -> E.count ~vars:[ "x" ] example4_formula));
+      Test.make ~name:"E5a_sor_memory"
+        (stage (fun () -> L.touched_count sor ~array:"a"));
+      Test.make ~name:"E5b_sor_cache_lines"
+        (stage (fun () -> L.cache_line_count sor ~array:"a" ~words:16 ~base:1));
+      Test.make ~name:"E6_example6"
+        (stage (fun () ->
+             Counting.Merge.merge_residues
+               (E.count ~vars:[ "i"; "j" ] example6_formula)));
+      Test.make ~name:"S26_simplify"
+        (stage (fun () -> Omega.Dnf.of_formula section26_formula));
+      Test.make ~name:"S33_hpf_ownership"
+        (stage (fun () ->
+             Loopapps.Hpf.ownership_count
+               { Loopapps.Hpf.procs = 8; block = 4 }
+               ~proc:0));
+      Test.make ~name:"F1_disjoint_splinter"
+        (stage (fun () ->
+             let beta, cl = fig1_clause () in
+             Omega.Solve.project Omega.Solve.Exact_disjoint [ beta ] cl));
+      Test.make ~name:"F1_overlapping_splinter"
+        (stage (fun () ->
+             let beta, cl = fig1_clause () in
+             Omega.Solve.project Omega.Solve.Exact_overlapping [ beta ] cl));
+      Test.make ~name:"A3_fst91_k4"
+        (stage (fun () ->
+             Counting.Baselines.fst91_sum ~vars:[ "i" ] (overlap_boxes 4)
+               Qpoly.one));
+      Test.make ~name:"A3_disjoint_k4"
+        (stage (fun () ->
+             E.sum_clauses ~vars:[ "i" ]
+               (Omega.Disjoint.to_disjoint (overlap_boxes 4))
+               Qpoly.one));
+      Test.make ~name:"A5_approx_upper"
+        (stage (fun () ->
+             let f =
+               F.and_
+                 [
+                   F.geq (v "i") (k 1);
+                   F.leq (A.scale (Zint.of_int 3) (v "i")) (v "n");
+                 ]
+             in
+             E.sum ~opts:{ E.default with strategy = E.Upper } ~vars:[ "i" ] f
+               (Qpoly.var "i")));
+    ]
+
+let () =
+  report ();
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "Timings (monotonic clock, OLS time per run):\n";
+  let rows =
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some (t :: _) ->
+          Printf.printf "  %-42s %12.1f us/run\n" name (t /. 1000.0)
+      | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+    rows

@@ -1,0 +1,101 @@
+(* omcount: command-line interface to the counting engine.
+
+   Examples:
+     omcount "count { i, j : 1 <= i <= j <= n }"
+     omcount --at n=100 "sum { i : 1 <= i <= n } i^2"
+     omcount --strategy symbolic "count { i, j : 1 <= i and j <= n and 2*i <= 3*j }"
+*)
+
+let parse_binding s =
+  match String.index_opt s '=' with
+  | Some k ->
+      let name = String.sub s 0 k in
+      let value = String.sub s (k + 1) (String.length s - k - 1) in
+      (name, Zint.of_string value)
+  | None -> raise (Arg.Bad (Printf.sprintf "bad binding %S (want name=int)" s))
+
+let run query bindings strategy merge =
+  let q = Preslang.parse_query query in
+  let opts = { Counting.Engine.default with strategy } in
+  let value =
+    Counting.Engine.sum ~opts ~vars:q.Preslang.vars q.Preslang.formula
+      q.Preslang.summand
+  in
+  let value = if merge then Counting.Merge.merge_residues value else value in
+  Printf.printf "%s\n" (Counting.Value.to_string value);
+  if bindings <> [] then begin
+    let env name =
+      match List.assoc_opt name bindings with
+      | Some z -> z
+      | None -> raise Not_found
+    in
+    Printf.printf "at %s: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (n, z) -> Printf.sprintf "%s=%s" n (Zint.to_string z))
+            bindings))
+      (Qnum.to_string (Counting.Value.eval env value))
+  end
+
+(* --simplify: print the disjoint DNF of a bare formula — the Omega
+   test's Section 2.6 capability, exposed directly. *)
+let simplify_formula s =
+  let f = Preslang.parse_formula s in
+  let cls = Omega.Disjoint.of_formula f in
+  (match cls with
+  | [] -> print_endline "FALSE"
+  | _ ->
+      List.iteri
+        (fun i c ->
+          Printf.printf "%s%s\n"
+            (if i = 0 then "   " else "OR ")
+            (Omega.Clause.to_string c))
+        cls);
+  Printf.printf "(%d disjoint clause%s)\n" (List.length cls)
+    (if List.length cls = 1 then "" else "s")
+
+let () =
+  let bindings = ref [] in
+  let strategy = ref Counting.Engine.Exact in
+  let merge = ref true in
+  let simplify = ref false in
+  let query = ref None in
+  let spec =
+    [
+      ( "--at",
+        Arg.String (fun s -> bindings := parse_binding s :: !bindings),
+        "name=int  evaluate the symbolic answer at this binding (repeatable)" );
+      ( "--simplify",
+        Arg.Set simplify,
+        "  treat the argument as a bare formula; print its disjoint DNF" );
+      ( "--strategy",
+        Arg.Symbol
+          ([ "exact"; "upper"; "lower"; "symbolic" ],
+           fun s ->
+             strategy :=
+               (match s with
+               | "upper" -> Counting.Engine.Upper
+               | "lower" -> Counting.Engine.Lower
+               | "symbolic" -> Counting.Engine.Symbolic
+               | _ -> Counting.Engine.Exact)),
+        "  rational-bound strategy (default exact)" );
+      ("--no-merge", Arg.Clear merge, "  do not merge residue classes");
+    ]
+  in
+  let usage = "omcount [options] \"count { vars : formula }\" | \"sum { vars : formula } expr\"" in
+  Arg.parse spec (fun s -> query := Some s) usage;
+  match !query with
+  | None ->
+      prerr_endline usage;
+      exit 2
+  | Some q -> (
+      try
+        if !simplify then simplify_formula q
+        else run q !bindings !strategy !merge
+      with
+      | Preslang.Parse_error (pos, msg) ->
+          Printf.eprintf "parse error at offset %d: %s\n" pos msg;
+          exit 1
+      | Counting.Engine.Unbounded msg ->
+          Printf.eprintf "unbounded summation: %s\n" msg;
+          exit 1)

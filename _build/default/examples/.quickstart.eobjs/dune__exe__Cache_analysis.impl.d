@@ -1,0 +1,1 @@
+examples/cache_analysis.ml: Counting List Loopapps Presburger Printf Zint

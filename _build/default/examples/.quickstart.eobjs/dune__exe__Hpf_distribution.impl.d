@@ -1,0 +1,1 @@
+examples/hpf_distribution.ml: Counting List Loopapps Printf Zint

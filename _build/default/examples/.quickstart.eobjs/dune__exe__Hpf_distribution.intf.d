@@ -1,0 +1,1 @@
+examples/hpf_distribution.mli:

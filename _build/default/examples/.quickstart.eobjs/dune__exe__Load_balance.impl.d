@@ -1,0 +1,1 @@
+examples/load_balance.ml: Counting List Loopapps Presburger Printf Qpoly Zint

@@ -1,0 +1,1 @@
+examples/loop_estimation.ml: Counting List Loopapps Presburger Printf Zint

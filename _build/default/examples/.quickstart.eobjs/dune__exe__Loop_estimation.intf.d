@@ -1,0 +1,1 @@
+examples/loop_estimation.mli:

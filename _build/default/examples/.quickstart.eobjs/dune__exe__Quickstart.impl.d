@@ -1,0 +1,1 @@
+examples/quickstart.ml: Counting List Preslang Printf Zint

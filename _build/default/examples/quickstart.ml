@@ -1,0 +1,50 @@
+(* Quickstart: parse counting queries and print symbolic answers.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let run query =
+  Printf.printf "query:  %s\n" query;
+  let q = Preslang.parse_query query in
+  let value =
+    Counting.Engine.sum ~vars:q.Preslang.vars q.Preslang.formula
+      q.Preslang.summand
+  in
+  let merged = Counting.Merge.merge_residues value in
+  Printf.printf "answer: %s\n\n" (Counting.Value.to_string merged)
+
+let () =
+  print_endline "== The introduction's table of sums ==\n";
+  run "count { i : 1 <= i <= 10 }";
+  run "count { i : 1 <= i <= n }";
+  run "count { i, j : 1 <= i <= n and 1 <= j <= n }";
+  run "count { i, j : 1 <= i < j <= n }";
+
+  print_endline "== Sums of polynomials ==\n";
+  run "sum { i : 1 <= i <= n } i";
+  run "sum { i : 1 <= i <= n } i^2";
+
+  print_endline "== The Mathematica pitfall (guards matter) ==\n";
+  (* Mathematica reports n(2m - n + 1)/2 unconditionally; that is wrong
+     when m < n. Our answer is a guarded piecewise value. *)
+  run "count { i, j : 1 <= i <= n and i <= j <= m }";
+
+  print_endline "== Strides, floors, mods (Section 3) ==\n";
+  run "count { i : 1 <= i <= n and 2 | i }";
+  run "sum { i : 1 <= i and 3*i <= n } i";
+  run "count { x : exists (i, j : 1 <= i <= 8 and 1 <= j <= 5 and x = 6*i + 9*j - 7) }";
+
+  print_endline "== Example 6 of the paper ==\n";
+  run "count { i, j : 1 <= i and j <= n and 2*i <= 3*j }";
+
+  (* Evaluating a symbolic answer numerically *)
+  let q = Preslang.parse_query "count { i, j : 1 <= i <= j <= n }" in
+  let value = Counting.Engine.count ~vars:q.Preslang.vars q.Preslang.formula in
+  print_endline "== Evaluating count { i, j : 1 <= i <= j <= n } ==\n";
+  List.iter
+    (fun n ->
+      let env name =
+        if name = "n" then Zint.of_int n else raise Not_found
+      in
+      Printf.printf "  n = %3d  ->  %s\n" n
+        (Zint.to_string (Counting.Value.eval_zint env value)))
+    [ 1; 10; 100; 1000 ]

@@ -1,0 +1,1 @@
+lib/counting/baselines.ml: Array Engine Omega Option Qnum Qpoly Value

@@ -1,0 +1,1 @@
+lib/counting/baselines.mli: Engine Omega Presburger Qpoly Value

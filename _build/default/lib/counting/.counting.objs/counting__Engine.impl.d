@@ -1,0 +1,1 @@
+lib/counting/engine.ml: Array List Omega Presburger Printf Qnum Qpoly Value Zint

@@ -1,0 +1,1 @@
+lib/counting/engine.mli: Omega Presburger Qnum Qpoly Value Zint

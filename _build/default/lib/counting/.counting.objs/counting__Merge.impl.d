@@ -1,0 +1,1 @@
+lib/counting/merge.ml: Array Hashtbl List Omega Option Presburger Qnum Qpoly String Value Zint

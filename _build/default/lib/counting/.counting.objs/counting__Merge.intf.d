@@ -1,0 +1,1 @@
+lib/counting/merge.mli: Value

@@ -1,0 +1,1 @@
+lib/counting/value.ml: Format Hashtbl List Omega Presburger Printf Qnum Qpoly

@@ -1,0 +1,1 @@
+lib/counting/value.mli: Format Omega Qnum Qpoly Zint

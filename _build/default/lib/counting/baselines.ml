@@ -1,0 +1,39 @@
+module C = Omega.Clause
+
+let tawbi_opts =
+  { Engine.default with flexible_order = false; eliminate_redundant = false }
+
+let naive_opts = { Engine.default with guard_empty = false }
+
+let fst91_sum ?stats ~vars clauses poly =
+  (* Inclusion-exclusion over all nonempty subsets S of the clause list:
+     count(union) = sum over S of sign(S) * count(intersection of S). *)
+  let arr = Array.of_list clauses in
+  let k = Array.length arr in
+  if k > 16 then invalid_arg "Baselines.fst91_sum: too many clauses (2^k blowup)";
+  let total = ref Value.zero in
+  let summations = ref 0 in
+  for mask = 1 to (1 lsl k) - 1 do
+    let subset = ref None in
+    let size = ref 0 in
+    for i = 0 to k - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        incr size;
+        subset :=
+          Some
+            (match !subset with
+            | None -> arr.(i)
+            | Some c -> C.conjoin c (C.rename_wilds arr.(i)))
+      end
+    done;
+    let conj = Option.get !subset in
+    incr summations;
+    let v = Engine.sum_clauses ?stats ~vars [ conj ] poly in
+    let sign = if !size land 1 = 1 then Qnum.one else Qnum.minus_one in
+    total := Value.add !total (Value.scale sign v)
+  done;
+  (Value.simplify !total, !summations)
+
+let fst91_count ?stats ~vars f =
+  let clauses = Omega.Dnf.of_formula f in
+  fst91_sum ?stats ~vars clauses Qpoly.one

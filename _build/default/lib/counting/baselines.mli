@@ -1,0 +1,36 @@
+(** Baselines the paper compares against (Section 6).
+
+    - {b Tawbi} [TF92, Taw94]: summation in a {e predetermined} variable
+      order with no redundant-constraint elimination (her polyhedral
+      pre-splitting is subsumed by the engine's bound splitting, which in
+      fixed-order mode splits wherever her algorithm would). Example 1:
+      her technique needs 3 summation terms where the flexible order needs
+      2.
+    - {b FST91} (Ferrante–Sarkar–Thrash): overlapping clauses corrected by
+      inclusion–exclusion — [2^k − 1] summations for [k] clauses
+      (Section 4.5.1) — versus disjoint DNF.
+    - {b Naive} (Mathematica/Maple-style): no emptiness guards; the
+      introduction's pitfall. *)
+
+(** Options preset for Tawbi's algorithm: fixed elimination order, no
+    redundancy elimination. *)
+val tawbi_opts : Engine.options
+
+(** Options preset for unguarded summation (incorrect when a range can be
+    empty — for demonstration). *)
+val naive_opts : Engine.options
+
+(** [fst91_sum ~vars clauses poly] sums over a possibly-overlapping clause
+    list by inclusion–exclusion. Returns the value and the number of
+    summations performed ([2^k − 1]). *)
+val fst91_sum :
+  ?stats:Engine.stats ->
+  vars:string list ->
+  Omega.Clause.t list ->
+  Qpoly.t ->
+  Value.t * int
+
+(** [fst91_count ~vars f]: DNF of [f] {e without} the disjointness
+    machinery, then inclusion–exclusion. *)
+val fst91_count :
+  ?stats:Engine.stats -> vars:string list -> Presburger.Formula.t -> Value.t * int

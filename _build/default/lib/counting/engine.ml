@@ -1,0 +1,436 @@
+module V = Presburger.Var
+module A = Presburger.Affine
+module F = Presburger.Formula
+module C = Omega.Clause
+
+type strategy = Exact | Upper | Lower | Symbolic
+
+type options = {
+  strategy : strategy;
+  flexible_order : bool;
+  eliminate_redundant : bool;
+  guard_empty : bool;
+  disjoint : bool;
+}
+
+let default =
+  {
+    strategy = Exact;
+    flexible_order = true;
+    eliminate_redundant = true;
+    guard_empty = true;
+    disjoint = true;
+  }
+
+type stats = {
+  mutable dnf_clauses : int;
+  mutable bound_splits : int;
+  mutable residue_splinters : int;
+  mutable pieces : int;
+}
+
+let new_stats () =
+  { dnf_clauses = 0; bound_splits = 0; residue_splinters = 0; pieces = 0 }
+
+exception Unbounded of string
+
+let fresh_sum_var =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    V.named (Printf.sprintf "%%w%d" !n)
+
+let max_steps = 20_000
+
+(* v = -rest/k as a rational affine form over variable names. *)
+let solution_lin k rest =
+  Qpoly.Lin.scale (Qnum.make Zint.minus_one k) (A.to_qlin rest)
+
+let qpoly_of_aff e = Qpoly.of_lin (A.to_qlin e)
+
+(* Quasi-polynomial for (e mod m), collapsing to a constant when it does. *)
+let qpoly_mod lin m =
+  match Qpoly.Atom.modulo lin m with
+  | `Atom a -> Qpoly.atom a
+  | `Const z -> Qpoly.const (Qnum.of_zint z)
+
+let small_int z ctx =
+  match Zint.to_int z with
+  | Some n when n <= 1_000_000 -> n
+  | _ ->
+      failwith
+        (Printf.sprintf "Counting: coefficient too large to splinter in %s" ctx)
+
+(* Find an equality containing a summation variable; pick the variable
+   with the smallest |coefficient| for the gentlest rescaling. *)
+let find_eq_sumvar vars (c : C.t) =
+  List.fold_left
+    (fun best e ->
+      List.fold_left
+        (fun best v ->
+          if List.exists (V.equal v) vars then begin
+            let k = Zint.abs (A.coeff e v) in
+            match best with
+            | Some (_, _, k0) when Zint.compare k0 k <= 0 -> best
+            | _ -> Some (e, v, k)
+          end
+          else best)
+        best (A.vars e))
+    None c.eqs
+
+let find_stride_sumvar vars (c : C.t) =
+  List.find_map
+    (fun (m, e) ->
+      List.find_map
+        (fun v ->
+          if List.exists (V.equal v) vars then Some (m, e, v) else None)
+        (A.vars e))
+    c.strides
+
+(* Bounds of v among inequalities, keeping the original affine forms so
+   clauses can be rebuilt exactly:
+   lower (b, β):  β ≤ b·v ;   upper (a, α):  a·v ≤ α. *)
+let bounds v geqs =
+  List.fold_left
+    (fun (lowers, uppers, rest) e ->
+      let cf = A.coeff e v in
+      if Zint.is_zero cf then (lowers, uppers, e :: rest)
+      else begin
+        let r = A.subst e v A.zero in
+        if Zint.sign cf > 0 then ((cf, A.neg r) :: lowers, uppers, rest)
+        else (lowers, (Zint.neg cf, r) :: uppers, rest)
+      end)
+    ([], [], []) geqs
+
+let lower_geq v (b, beta) = A.sub (A.scale b (A.var v)) beta
+let upper_geq v (a, alpha) = A.sub alpha (A.scale a (A.var v))
+
+let remove_var vars v = List.filter (fun u -> not (V.equal u v)) vars
+
+let rec go opts stats vars poly (clause : C.t) fuel : Value.t =
+  if fuel > max_steps then failwith "Counting: reduction did not terminate";
+  if Qpoly.is_zero poly then []
+  else
+    match C.normalize clause with
+    | None -> []
+    | Some clause -> begin
+        match find_eq_sumvar vars clause with
+        | Some (e, v, _) ->
+            let k = A.coeff e v in
+            let rest = A.sub e (A.term k v) in
+            let poly' = Qpoly.subst_lin poly (V.to_string v) (solution_lin k rest) in
+            let clause' =
+              Omega.Solve.eliminate_via_eq v
+                { clause with wilds = V.Set.add v clause.wilds }
+            in
+            go opts stats (remove_var vars v) poly' clause' (fuel + 1)
+        | None -> begin
+            match find_stride_sumvar vars clause with
+            | Some (m, e, _v) ->
+                (* Σ_v [m | e(v)] f(v)  =  Σ_w [e(v) = m·w] f(v): a 1-1
+                   change of variable; the equality is then handled by the
+                   case above (in the next iteration). *)
+                let w = fresh_sum_var () in
+                let strides' =
+                  List.filter
+                    (fun (m', e') ->
+                      not (Zint.equal m m' && A.equal e e'))
+                    clause.strides
+                in
+                let eq = A.sub e (A.scale m (A.var w)) in
+                let clause' =
+                  { clause with strides = strides'; eqs = eq :: clause.eqs }
+                in
+                go opts stats (w :: vars) poly clause' (fuel + 1)
+            | None -> convex opts stats vars poly clause fuel
+          end
+      end
+
+and convex opts stats vars poly clause fuel : Value.t =
+  let clause =
+    if opts.eliminate_redundant then
+      match Omega.Gist.remove_redundant clause with
+      | Some c -> c
+      | None -> { clause with geqs = A.of_int (-1) :: clause.geqs }
+      (* infeasible: normalize in the recursion will drop it *)
+    else clause
+  in
+  match vars with
+  | [] ->
+      stats.pieces <- stats.pieces + 1;
+      Value.piece clause poly
+  | _ -> begin
+      (* Variable choice (Section 4.4 step 2): prefer variables with few
+         bounds and unit coefficients; fixed order takes the innermost
+         (last) variable, as in Tawbi's algorithm. *)
+      let v =
+        if not opts.flexible_order then List.nth vars (List.length vars - 1)
+        else begin
+          let score v =
+            let lowers, uppers, _ = bounds v clause.geqs in
+            let nonunit =
+              List.exists (fun (c, _) -> not (Zint.is_one c)) lowers
+              || List.exists (fun (c, _) -> not (Zint.is_one c)) uppers
+            in
+            ( List.length lowers * List.length uppers,
+              (if nonunit then 1 else 0) )
+          in
+          List.fold_left
+            (fun (bv, bs) v ->
+              let s = score v in
+              if compare s bs < 0 then (v, s) else (bv, bs))
+            (List.hd vars, score (List.hd vars))
+            (List.tl vars)
+          |> fst
+        end
+      in
+      let lowers, uppers, rest = bounds v clause.geqs in
+      if lowers = [] || uppers = [] then
+        raise
+          (Unbounded
+             (Printf.sprintf "variable %s has no %s bound" (V.to_string v)
+                (if lowers = [] then "lower" else "upper")));
+      let split_cases chosen_bounds rebuild =
+        (* Disjoint split over which bound is the binding one (Sec 4.4
+           step 3): case t keeps bound t with  bound_t ≤ bound_j (j > t)
+           and bound_t < bound_j (j < t), comparisons cross-multiplied. *)
+        let arr = Array.of_list chosen_bounds in
+        let n = Array.length arr in
+        stats.bound_splits <- stats.bound_splits + n - 1;
+        List.concat
+          (List.init n (fun t ->
+               let guards = ref [] in
+               for j = 0 to n - 1 do
+                 if j <> t then begin
+                   let ct, et = arr.(t) and cj, ej = arr.(j) in
+                   (* et/ct vs ej/cj  ⇒  cj·et vs ct·ej *)
+                   let diff = A.sub (A.scale ct ej) (A.scale cj et) in
+                   let g = if j < t then A.add_const diff Zint.minus_one else diff in
+                   guards := g :: !guards
+                 end
+               done;
+               let clause' = rebuild arr.(t) !guards in
+               go opts stats vars poly clause' (fuel + 1)))
+      in
+      if List.length uppers > 1 then
+        split_cases uppers (fun u guards ->
+            {
+              clause with
+              geqs =
+                (upper_geq v u :: List.map (lower_geq v) lowers)
+                @ guards @ rest;
+            })
+      else if List.length lowers > 1 then begin
+        (* For lower bounds the binding one is the MAXIMUM: case t keeps
+           bound_t ≥ others. Reuse split_cases with reversed comparison by
+           negating the affine forms' roles. *)
+        let arr = Array.of_list lowers in
+        let n = Array.length arr in
+        stats.bound_splits <- stats.bound_splits + n - 1;
+        List.concat
+          (List.init n (fun t ->
+               let guards = ref [] in
+               for j = 0 to n - 1 do
+                 if j <> t then begin
+                   let ct, et = arr.(t) and cj, ej = arr.(j) in
+                   (* binding lower: et/ct >= ej/cj ⇒ cj·et − ct·ej ≥ 0 *)
+                   let diff = A.sub (A.scale cj et) (A.scale ct ej) in
+                   let g = if j < t then A.add_const diff Zint.minus_one else diff in
+                   guards := g :: !guards
+                 end
+               done;
+               let clause' =
+                 {
+                   clause with
+                   geqs =
+                     (lower_geq v arr.(t)
+                     :: List.map (upper_geq v) uppers)
+                     @ !guards @ rest;
+                 }
+               in
+               go opts stats vars poly clause' (fuel + 1)))
+      end
+      else begin
+        let [@warning "-8"] [ (b, beta) ] = lowers
+        and [@warning "-8"] [ (a, alpha) ] = uppers in
+        single_pair opts stats vars poly clause fuel v ~rest (b, beta)
+          (a, alpha)
+      end
+    end
+
+(* Sum over v with a single lower bound β ≤ b·v and upper a·v ≤ α. *)
+and single_pair opts stats vars poly clause fuel v ~rest (b, beta) (a, alpha)
+    : Value.t =
+  let vname = V.to_string v in
+  let vars' = remove_var vars v in
+  let base_clause = { clause with geqs = rest } in
+  let recurse inner clause' = go opts stats vars' inner clause' (fuel + 1) in
+  let unit_case () =
+    (* a = b = 1: exact closed form, guard β ≤ α. *)
+    let inner =
+      Qpoly.sum_over poly vname (qpoly_of_aff beta) (qpoly_of_aff alpha)
+    in
+    let guard = A.sub alpha beta in
+    let clause' =
+      if opts.guard_empty then
+        { base_clause with geqs = guard :: base_clause.geqs }
+      else base_clause
+    in
+    recurse inner clause'
+  in
+  if Zint.is_one a && Zint.is_one b then unit_case ()
+  else begin
+    let sum_vars_in e =
+      List.exists (fun u -> List.exists (V.equal u) vars') (A.vars e)
+    in
+    match opts.strategy with
+    | Symbolic when not (sum_vars_in beta || sum_vars_in alpha) ->
+        (* ⌈β/b⌉ = (β + (−β mod b))/b ; ⌊α/a⌋ = (α − (α mod a))/a.
+           Guard: real shadow b·α − a·β ≥ 0 (approximate, Sec 4.2.2). *)
+        let inv x = Qnum.make Zint.one x in
+        let lo =
+          Qpoly.scale (inv b)
+            (Qpoly.add (qpoly_of_aff beta)
+               (qpoly_mod (A.to_qlin (A.neg beta)) b))
+        in
+        let hi =
+          Qpoly.scale (inv a)
+            (Qpoly.sub (qpoly_of_aff alpha)
+               (qpoly_mod (A.to_qlin alpha) a))
+        in
+        let inner = Qpoly.sum_over poly vname lo hi in
+        let guard = A.sub (A.scale b alpha) (A.scale a beta) in
+        let clause' =
+          if opts.guard_empty then
+            { base_clause with geqs = guard :: base_clause.geqs }
+          else base_clause
+        in
+        recurse inner clause'
+    | Upper | Lower ->
+        (* Rational relaxation / tightening of the bounds (Sec 4.2.1).
+           Valid as an upper (resp. lower) bound for nonnegative
+           summands. *)
+        let inv x = Qnum.make Zint.one x in
+        let lo, hi, guard =
+          match opts.strategy with
+          | Upper ->
+              ( Qpoly.scale (inv b) (qpoly_of_aff beta),
+                Qpoly.scale (inv a) (qpoly_of_aff alpha),
+                A.sub (A.scale b alpha) (A.scale a beta) )
+          | _ ->
+              ( Qpoly.scale (inv b)
+                  (qpoly_of_aff (A.add_const beta (Zint.pred b))),
+                Qpoly.scale (inv a)
+                  (qpoly_of_aff (A.add_const alpha (Zint.succ (Zint.neg a)))),
+                A.sub
+                  (A.scale b (A.add_const alpha (Zint.succ (Zint.neg a))))
+                  (A.scale a (A.add_const beta (Zint.pred b))) )
+        in
+        let inner = Qpoly.sum_over poly vname lo hi in
+        let clause' =
+          if opts.guard_empty then
+            { base_clause with geqs = guard :: base_clause.geqs }
+          else base_clause
+        in
+        recurse inner clause'
+    | _ ->
+        (* Exact splintering by residue classes (Sec 4.2.1): case on
+           β mod b and α mod a; within a case both bounds are integral. *)
+        let bi = small_int b "lower bound splinter"
+        and ai = small_int a "upper bound splinter" in
+        stats.residue_splinters <- stats.residue_splinters + (ai * bi) - 1;
+        let residues n = List.init n (fun r -> r) in
+        List.concat_map
+          (fun rb ->
+            List.concat_map
+              (fun ra ->
+                let zrb = Zint.of_int rb and zra = Zint.of_int ra in
+                let delta = if rb > 0 then Zint.one else Zint.zero in
+                (* L = (β − rb)/b + δ ; U = (α − ra)/a *)
+                let inv x = Qnum.make Zint.one x in
+                let lo =
+                  Qpoly.add
+                    (Qpoly.scale (inv b)
+                       (qpoly_of_aff (A.add_const beta (Zint.neg zrb))))
+                    (Qpoly.const (Qnum.of_zint delta))
+                in
+                let hi =
+                  Qpoly.scale (inv a)
+                    (qpoly_of_aff (A.add_const alpha (Zint.neg zra)))
+                in
+                let inner = Qpoly.sum_over poly vname lo hi in
+                (* guard (L ≤ U) × ab:
+                   b(α − ra) − a(β − rb) − ab·δ ≥ 0 *)
+                let guard =
+                  A.add_const
+                    (A.sub
+                       (A.scale b (A.add_const alpha (Zint.neg zra)))
+                       (A.scale a (A.add_const beta (Zint.neg zrb))))
+                    (Zint.neg (Zint.mul (Zint.mul a b) delta))
+                in
+                let strides =
+                  (if bi > 1 then [ (b, A.add_const beta (Zint.neg zrb)) ]
+                   else [])
+                  @ (if ai > 1 then [ (a, A.add_const alpha (Zint.neg zra)) ]
+                     else [])
+                in
+                let clause' =
+                  {
+                    base_clause with
+                    geqs =
+                      (if opts.guard_empty then guard :: base_clause.geqs
+                       else base_clause.geqs);
+                    strides = strides @ base_clause.strides;
+                  }
+                in
+                recurse inner clause')
+              (residues ai))
+          (residues bi)
+  end
+
+let sum_clauses ?(opts = default) ?(stats = new_stats ()) ~vars cls poly =
+  let vs = List.map V.named vars in
+  stats.dnf_clauses <- stats.dnf_clauses + List.length cls;
+  List.concat_map (fun c -> go opts stats vs poly c 0) cls |> Value.simplify
+
+let sum ?(opts = default) ?stats ~vars f poly =
+  let cls =
+    (* Section 4.6: when only bounds are wanted, the Omega test may
+       simplify approximately — project quantified variables onto the real
+       (over-approximate) or dark (under-approximate) shadow instead of
+       splintering. Disjointness is still enforced so no overlap inflates
+       a lower bound. *)
+    match opts.strategy with
+    | Upper ->
+        Omega.Disjoint.to_disjoint
+          (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_real f)
+    | Lower ->
+        Omega.Disjoint.to_disjoint
+          (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_dark f)
+    | Exact | Symbolic ->
+        if opts.disjoint then Omega.Disjoint.of_formula f
+        else Omega.Dnf.of_formula f
+  in
+  sum_clauses ~opts ?stats ~vars cls poly
+
+let count ?opts ?stats ~vars f = sum ?opts ?stats ~vars f Qpoly.one
+
+let brute_sum ~vars ~lo ~hi env f poly =
+  let rec loop bound vars acc =
+    match vars with
+    | [] ->
+        let env' name =
+          match List.assoc_opt name bound with
+          | Some z -> z
+          | None -> env name
+        in
+        let var_env v = env' (V.to_string v) in
+        if F.holds var_env f then Qnum.add acc (Qpoly.eval env' poly) else acc
+    | v :: rest ->
+        let acc = ref acc in
+        for x = lo to hi do
+          acc := loop ((v, Zint.of_int x) :: bound) rest !acc
+        done;
+        !acc
+  in
+  loop [] vars Qnum.zero

@@ -1,0 +1,113 @@
+(** The symbolic summation engine (Section 4 of the paper).
+
+    [sum ~vars f poly] computes [(Σ vars : f : poly)] — the sum of the
+    quasi-polynomial [poly] over all integer assignments of [vars]
+    satisfying the Presburger formula [f] — symbolically in the remaining
+    free variables of [f] (the symbolic constants). [count] is the special
+    case [poly = 1].
+
+    Pipeline:
+    + simplify [f] to {e disjoint} disjunctive normal form (Sections 2, 5),
+      so per-clause results can simply be added (Section 4.5.1);
+    + per clause, substitute away summation variables bound by equalities
+      or strides (projected-clause handling, Section 4.5.2 — realized by
+      scale-and-substitute rather than an explicit Smith decomposition, to
+      which it is equivalent one variable at a time);
+    + convex summation (Section 4.4): remove redundant constraints, pick a
+      summation variable with flexible order, split multiple upper/lower
+      bounds into disjoint cases, and reduce single-bounded variables with
+      Faulhaber closed forms ({!Qpoly.range_sum});
+    + rational bounds (Section 4.2.1) are handled per {!strategy}:
+      splintering by residue class (exact), upper/lower approximation, or
+      symbolic [mod]-atom answers;
+    + emptiness guards ([lower ≤ upper]) are conjoined into the residual
+      problem so empty ranges contribute zero — the introduction's
+      Mathematica pitfall ([guard_empty = false] reproduces the pitfall
+      for demonstration). *)
+
+(** Strategy for rational (floor/ceiling) bounds — Section 4.2.1. *)
+type strategy =
+  | Exact  (** splinter into residue classes; exact answers *)
+  | Upper
+      (** upper bound on the result (for nonnegative summands): rational
+          bound relaxation (4.2.1) {e and} real-shadow projection of
+          quantified variables (4.6) *)
+  | Lower
+      (** lower bound: tightened rational bounds and dark-shadow
+          projection (4.6) *)
+  | Symbolic
+      (** answers in terms of [n mod c] atoms when bounds involve only
+          symbolic constants (falls back to [Exact] otherwise); the
+          emptiness guard of such a piece is the real-shadow
+          approximation, as Section 4.2.2 permits *)
+
+type options = {
+  strategy : strategy;
+  flexible_order : bool;
+      (** [false] forces the fixed (innermost-first) elimination order of
+          Tawbi's algorithm — the ablation of Example 1. *)
+  eliminate_redundant : bool;
+      (** [false] skips redundant-constraint elimination (second ablation
+          of Section 7). *)
+  guard_empty : bool;
+      (** [false] omits the [lower ≤ upper] guards, reproducing the
+          unguarded-summation pitfall of Section 1. *)
+  disjoint : bool;
+      (** [false] uses possibly-overlapping DNF — only meaningful for the
+          FST91 inclusion–exclusion baseline, which corrects the overlap
+          externally. *)
+}
+
+val default : options
+
+(** Instrumentation for the comparisons of Section 6. *)
+type stats = {
+  mutable dnf_clauses : int;
+  mutable bound_splits : int;  (** multiple-bound case splits (Sec 4.4) *)
+  mutable residue_splinters : int;  (** rational-bound splinters (4.2.1) *)
+  mutable pieces : int;  (** guarded pieces before final simplification *)
+}
+
+val new_stats : unit -> stats
+
+(** Raised when the summation region is unbounded in some variable. *)
+exception Unbounded of string
+
+(** [sum ?opts ?stats ~vars f poly]: see above. Variables are given by
+    name; every other free variable of [f] is a symbolic constant. *)
+val sum :
+  ?opts:options ->
+  ?stats:stats ->
+  vars:string list ->
+  Presburger.Formula.t ->
+  Qpoly.t ->
+  Value.t
+
+(** [count ?opts ?stats ~vars f = sum ~vars f 1]. *)
+val count :
+  ?opts:options ->
+  ?stats:stats ->
+  vars:string list ->
+  Presburger.Formula.t ->
+  Value.t
+
+(** [sum_clauses] runs the per-clause engine on an explicit clause list
+    (used by the FST91 baseline and by callers that already have DNF). *)
+val sum_clauses :
+  ?opts:options ->
+  ?stats:stats ->
+  vars:string list ->
+  Omega.Clause.t list ->
+  Qpoly.t ->
+  Value.t
+
+(** Brute-force reference: sum [poly] over assignments of [vars] in the
+    box [[lo, hi]]^k satisfying [f] under [env] — the test oracle. *)
+val brute_sum :
+  vars:string list ->
+  lo:int ->
+  hi:int ->
+  (string -> Zint.t) ->
+  Presburger.Formula.t ->
+  Qpoly.t ->
+  Qnum.t

@@ -1,0 +1,16 @@
+(** Merging residue-class pieces into quasi-polynomials.
+
+    Exact splintering produces answers as families of pieces guarded by
+    stride constraints, e.g. Example 6 first yields
+    [(Σ : 2≤n ∧ 2|n : …) + (Σ : 1≤n ∧ 2|n−1 : …)]. When a family covers
+    {e every} residue of a modulus [m] on the same affine expression [e]
+    under an otherwise-identical guard, it can be folded into a single
+    piece whose value uses an [(e mod m)] atom — how the paper reaches
+    [(3n² + 2n − (n mod 2))/4]. The fold interpolates a polynomial of
+    degree [< m] through the residue values (Lagrange, over the
+    quasi-polynomial ring). *)
+
+(** [merge_residues v] performs all such folds; pieces that do not form a
+    complete residue family are returned unchanged. The result denotes the
+    same function as the input. *)
+val merge_residues : Value.t -> Value.t

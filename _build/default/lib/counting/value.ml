@@ -1,0 +1,83 @@
+module V = Presburger.Var
+module C = Omega.Clause
+
+type piece = { guard : C.t; value : Qpoly.t }
+type t = piece list
+
+let zero : t = []
+let piece guard value : t = if Qpoly.is_zero value then [] else [ { guard; value } ]
+let add (a : t) (b : t) : t = a @ b
+let neg (v : t) = List.map (fun p -> { p with value = Qpoly.neg p.value }) v
+
+let scale q (v : t) =
+  if Qnum.is_zero q then []
+  else List.map (fun p -> { p with value = Qpoly.scale q p.value }) v
+
+let map_values f (v : t) =
+  List.filter_map
+    (fun p ->
+      let value = f p.value in
+      if Qpoly.is_zero value then None else Some { p with value })
+    v
+
+let guard_key (c : C.t) =
+  (* canonical printable key for syntactic guard grouping *)
+  C.to_string c
+
+let simplify (v : t) : t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      match Omega.Clause.normalize p.guard with
+      | None -> ()
+      | Some g ->
+          if Omega.Solve.is_feasible g then begin
+            let g =
+              match Omega.Gist.remove_redundant g with
+              | Some g -> g
+              | None -> g
+            in
+            let key = guard_key g in
+            match Hashtbl.find_opt tbl key with
+            | Some (g0, acc) -> Hashtbl.replace tbl key (g0, Qpoly.add acc p.value)
+            | None ->
+                order := key :: !order;
+                Hashtbl.replace tbl key (g, p.value)
+          end)
+    v;
+  List.rev !order
+  |> List.filter_map (fun key ->
+         let g, value = Hashtbl.find tbl key in
+         if Qpoly.is_zero value then None else Some { guard = g; value })
+
+let eval env (v : t) =
+  let var_env var = env (V.to_string var) in
+  List.fold_left
+    (fun acc p ->
+      if C.holds var_env p.guard then Qnum.add acc (Qpoly.eval env p.value)
+      else acc)
+    Qnum.zero v
+
+let eval_zint env v =
+  let q = eval env v in
+  match Qnum.to_zint q with
+  | Some z -> z
+  | None ->
+      failwith
+        (Printf.sprintf "Counting.Value.eval_zint: non-integral value %s"
+           (Qnum.to_string q))
+
+let pp fmt (v : t) =
+  match v with
+  | [] -> Format.pp_print_string fmt "0"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.fprintf fmt "@ + ")
+        (fun fmt p ->
+          if p.guard = C.top then Format.fprintf fmt "(%a)" Qpoly.pp p.value
+          else
+            Format.fprintf fmt "(sum : %a : %a)" C.pp p.guard Qpoly.pp p.value)
+        fmt v
+
+let to_string v = Format.asprintf "@[%a@]" pp v

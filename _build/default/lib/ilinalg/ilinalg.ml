@@ -1,0 +1,352 @@
+(* Exact integer linear algebra: Hermite and Smith normal forms with
+   unimodular transform tracking, Diophantine solving, Bareiss determinant.
+
+   Matrices are immutable from the outside; the normal-form algorithms work
+   on private mutable copies. *)
+
+module Mat = struct
+  type t = Zint.t array array (* row-major; invariant: rectangular *)
+
+  let make rows cols = Array.init rows (fun _ -> Array.make cols Zint.zero)
+
+  let of_arrays a =
+    let rows = Array.length a in
+    if rows = 0 then [||]
+    else begin
+      let cols = Array.length a.(0) in
+      Array.iter
+        (fun r ->
+          if Array.length r <> cols then
+            invalid_arg "Ilinalg.Mat.of_arrays: ragged rows")
+        a;
+      Array.map Array.copy a
+    end
+
+  let of_int_arrays a = of_arrays (Array.map (Array.map Zint.of_int) a)
+
+  let identity n =
+    Array.init n (fun i ->
+        Array.init n (fun j -> if i = j then Zint.one else Zint.zero))
+
+  let rows m = Array.length m
+  let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+  let get m i j = m.(i).(j)
+
+  let set m i j v =
+    let m' = Array.map Array.copy m in
+    m'.(i).(j) <- v;
+    m'
+
+  let transpose m =
+    let r = rows m and c = cols m in
+    Array.init c (fun j -> Array.init r (fun i -> m.(i).(j)))
+
+  let mul a b =
+    let ra = rows a and ca = cols a and cb = cols b in
+    if ca <> rows b then invalid_arg "Ilinalg.Mat.mul: dimension mismatch";
+    Array.init ra (fun i ->
+        Array.init cb (fun j ->
+            let acc = ref Zint.zero in
+            for k = 0 to ca - 1 do
+              acc := Zint.add !acc (Zint.mul a.(i).(k) b.(k).(j))
+            done;
+            !acc))
+
+  let apply m v =
+    let r = rows m and c = cols m in
+    if c <> Array.length v then invalid_arg "Ilinalg.Mat.apply: dimension mismatch";
+    Array.init r (fun i ->
+        let acc = ref Zint.zero in
+        for k = 0 to c - 1 do
+          acc := Zint.add !acc (Zint.mul m.(i).(k) v.(k))
+        done;
+        !acc)
+
+  let equal a b =
+    rows a = rows b && cols a = cols b
+    && Array.for_all2 (fun ra rb -> Array.for_all2 Zint.equal ra rb) a b
+
+  let pp fmt m =
+    Format.fprintf fmt "@[<v>";
+    Array.iter
+      (fun row ->
+        Format.fprintf fmt "[";
+        Array.iteri
+          (fun j v ->
+            if j > 0 then Format.fprintf fmt " ";
+            Zint.pp fmt v)
+          row;
+        Format.fprintf fmt "]@,")
+      m;
+    Format.fprintf fmt "@]"
+
+  let det m =
+    let n = rows m in
+    if n <> cols m then invalid_arg "Ilinalg.Mat.det: non-square matrix";
+    if n = 0 then Zint.one
+    else begin
+      (* Bareiss fraction-free elimination: all divisions are exact. *)
+      let w = Array.map Array.copy m in
+      let sign = ref 1 in
+      let prev = ref Zint.one in
+      let result = ref None in
+      (try
+         for k = 0 to n - 2 do
+           if Zint.is_zero w.(k).(k) then begin
+             let piv = ref (-1) in
+             for i = n - 1 downto k + 1 do
+               if not (Zint.is_zero w.(i).(k)) then piv := i
+             done;
+             if !piv < 0 then begin
+               result := Some Zint.zero;
+               raise Exit
+             end;
+             let tmp = w.(k) in
+             w.(k) <- w.(!piv);
+             w.(!piv) <- tmp;
+             sign := - !sign
+           end;
+           for i = k + 1 to n - 1 do
+             for j = k + 1 to n - 1 do
+               w.(i).(j) <-
+                 Zint.divexact
+                   (Zint.sub
+                      (Zint.mul w.(i).(j) w.(k).(k))
+                      (Zint.mul w.(i).(k) w.(k).(j)))
+                   !prev
+             done;
+             w.(i).(k) <- Zint.zero
+           done;
+           prev := w.(k).(k)
+         done
+       with Exit -> ());
+      match !result with
+      | Some d -> d
+      | None ->
+          let d = w.(n - 1).(n - 1) in
+          if !sign > 0 then d else Zint.neg d
+    end
+end
+
+(* Mutable row operations used by the normal-form algorithms. *)
+
+let swap_rows m i j =
+  let t = m.(i) in
+  m.(i) <- m.(j);
+  m.(j) <- t
+
+let swap_cols m i j =
+  Array.iter
+    (fun row ->
+      let t = row.(i) in
+      row.(i) <- row.(j);
+      row.(j) <- t)
+    m
+
+(* row i <- row i - q * row k *)
+let sub_row m i k q =
+  let cols = Array.length m.(i) in
+  for j = 0 to cols - 1 do
+    m.(i).(j) <- Zint.sub m.(i).(j) (Zint.mul q m.(k).(j))
+  done
+
+(* col j <- col j - q * col k *)
+let sub_col m j k q =
+  Array.iter (fun row -> row.(j) <- Zint.sub row.(j) (Zint.mul q row.(k))) m
+
+(* row i <- row i + row k *)
+let add_row m i k =
+  let cols = Array.length m.(i) in
+  for j = 0 to cols - 1 do
+    m.(i).(j) <- Zint.add m.(i).(j) m.(k).(j)
+  done
+
+let neg_row m i = m.(i) <- Array.map Zint.neg m.(i)
+
+let smith a =
+  let m = Mat.rows a and n = Mat.cols a in
+  let d = Array.map Array.copy a in
+  let u = Array.map Array.copy (Mat.identity m) in
+  let v = Array.map Array.copy (Mat.identity n) in
+  let rank_bound = Stdlib.min m n in
+  for t = 0 to rank_bound - 1 do
+    (* Locate the submatrix entry of minimal nonzero magnitude. *)
+    let find_pivot () =
+      let best = ref None in
+      for i = t to m - 1 do
+        for j = t to n - 1 do
+          if not (Zint.is_zero d.(i).(j)) then
+            match !best with
+            | None -> best := Some (i, j)
+            | Some (bi, bj) ->
+                if Zint.compare (Zint.abs d.(i).(j)) (Zint.abs d.(bi).(bj)) < 0
+                then best := Some (i, j)
+        done
+      done;
+      !best
+    in
+    let finished = ref false in
+    while not !finished do
+      match find_pivot () with
+      | None -> finished := true (* submatrix is all zero *)
+      | Some (pi, pj) ->
+          if pi <> t then begin
+            swap_rows d pi t;
+            swap_rows u pi t
+          end;
+          if pj <> t then begin
+            swap_cols d pj t;
+            swap_cols v pj t
+          end;
+          (* Clear below and to the right of the pivot. *)
+          let dirty = ref false in
+          for i = t + 1 to m - 1 do
+            if not (Zint.is_zero d.(i).(t)) then begin
+              let q = Zint.fdiv d.(i).(t) d.(t).(t) in
+              sub_row d i t q;
+              sub_row u i t q;
+              if not (Zint.is_zero d.(i).(t)) then dirty := true
+            end
+          done;
+          for j = t + 1 to n - 1 do
+            if not (Zint.is_zero d.(t).(j)) then begin
+              let q = Zint.fdiv d.(t).(j) d.(t).(t) in
+              sub_col d j t q;
+              sub_col v j t q;
+              if not (Zint.is_zero d.(t).(j)) then dirty := true
+            end
+          done;
+          if not !dirty then begin
+            (* Pivot clean; enforce divisibility over the whole submatrix so
+               the diagonal forms a chain. *)
+            let offender = ref None in
+            (try
+               for i = t + 1 to m - 1 do
+                 for j = t + 1 to n - 1 do
+                   if not (Zint.divides d.(t).(t) d.(i).(j)) then begin
+                     offender := Some i;
+                     raise Exit
+                   end
+                 done
+               done
+             with Exit -> ());
+            match !offender with
+            | None -> finished := true
+            | Some i ->
+                (* Fold the offending row into row t and keep reducing: the
+                   pivot magnitude strictly decreases, so this terminates. *)
+                add_row d t i;
+                add_row u t i
+          end
+    done;
+    if Zint.sign d.(t).(t) < 0 then begin
+      neg_row d t;
+      neg_row u t
+    end
+  done;
+  (u, d, v)
+
+let hermite a =
+  let m = Mat.rows a and n = Mat.cols a in
+  let h = Array.map Array.copy a in
+  let u = Array.map Array.copy (Mat.identity m) in
+  let r = ref 0 in
+  for j = 0 to n - 1 do
+    if !r < m then begin
+      (* Compute the gcd of column j below row r by repeated reduction. *)
+      let reduced = ref false in
+      while not !reduced do
+        let piv = ref (-1) in
+        for i = m - 1 downto !r do
+          if not (Zint.is_zero h.(i).(j)) then
+            if
+              !piv < 0
+              || Zint.compare (Zint.abs h.(i).(j)) (Zint.abs h.(!piv).(j)) < 0
+            then piv := i
+        done;
+        if !piv < 0 then reduced := true (* column empty below r *)
+        else begin
+          if !piv <> !r then begin
+            swap_rows h !piv !r;
+            swap_rows u !piv !r
+          end;
+          let dirty = ref false in
+          for i = !r + 1 to m - 1 do
+            if not (Zint.is_zero h.(i).(j)) then begin
+              let q = Zint.fdiv h.(i).(j) h.(!r).(j) in
+              sub_row h i !r q;
+              sub_row u i !r q;
+              if not (Zint.is_zero h.(i).(j)) then dirty := true
+            end
+          done;
+          if not !dirty then begin
+            if Zint.sign h.(!r).(j) < 0 then begin
+              neg_row h !r;
+              neg_row u !r
+            end;
+            (* Reduce the entries above the pivot into [0, pivot). *)
+            for i = 0 to !r - 1 do
+              let q = Zint.fdiv h.(i).(j) h.(!r).(j) in
+              if not (Zint.is_zero q) then begin
+                sub_row h i !r q;
+                sub_row u i !r q
+              end
+            done;
+            incr r;
+            reduced := true
+          end
+        end
+      done
+    end
+  done;
+  (u, h)
+
+let rank a =
+  let _, h = hermite a in
+  let m = Mat.rows h and n = Mat.cols h in
+  let r = ref 0 in
+  for i = 0 to m - 1 do
+    let nonzero = ref false in
+    for j = 0 to n - 1 do
+      if not (Zint.is_zero h.(i).(j)) then nonzero := true
+    done;
+    if !nonzero then incr r
+  done;
+  !r
+
+let solve a b =
+  let m = Mat.rows a and n = Mat.cols a in
+  if Array.length b <> m then invalid_arg "Ilinalg.solve: dimension mismatch";
+  let u, d, v = smith a in
+  let c = Mat.apply u b in
+  let rank_bound = Stdlib.min m n in
+  let y = Array.make n Zint.zero in
+  let ok = ref true in
+  let r = ref 0 in
+  for i = 0 to rank_bound - 1 do
+    if not (Zint.is_zero (Mat.get d i i)) then begin
+      incr r;
+      if Zint.divides (Mat.get d i i) c.(i) then
+        y.(i) <- Zint.tdiv c.(i) (Mat.get d i i)
+      else ok := false
+    end
+  done;
+  (* Rows of D beyond its rank are zero; they demand c_i = 0. *)
+  for i = !r to m - 1 do
+    if not (Zint.is_zero c.(i)) then ok := false
+  done;
+  if not !ok then None
+  else begin
+    let x0 = Mat.apply v y in
+    let kernel =
+      Array.init (n - !r) (fun k ->
+          (* column (r + k) of v *)
+          Array.init n (fun i -> Mat.get v i (!r + k)))
+    in
+    Some (x0, kernel)
+  end
+
+let kernel a =
+  match solve a (Array.make (Mat.rows a) Zint.zero) with
+  | Some (_, k) -> k
+  | None -> assert false (* x = 0 always solves A x = 0 *)

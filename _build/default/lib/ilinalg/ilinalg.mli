@@ -1,0 +1,66 @@
+(** Exact integer linear algebra over {!Zint}.
+
+    Provides the Smith-normal-form machinery of Section 4.5.2 of the paper:
+    clauses in projected form are re-parameterized by computing the Smith
+    normal form of the coefficient matrix of their auxiliary variables.
+    Also used to solve linear Diophantine systems (lattice
+    parameterizations) and to check exactness of stencil summaries. *)
+
+module Mat : sig
+  (** Dense matrices of {!Zint.t}. Indices are 0-based, row-major. *)
+  type t
+
+  (** [make rows cols] is the zero matrix. *)
+  val make : int -> int -> t
+
+  (** [of_int_arrays a] builds from native-int rows. Raises
+      [Invalid_argument] on ragged input. *)
+  val of_int_arrays : int array array -> t
+
+  val of_arrays : Zint.t array array -> t
+  val identity : int -> t
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> Zint.t
+
+  (** [set m i j v] returns an updated copy ([Mat.t] is immutable from the
+      outside). *)
+  val set : t -> int -> int -> Zint.t -> t
+
+  val transpose : t -> t
+  val mul : t -> t -> t
+
+  (** [apply m v] is the matrix-vector product. *)
+  val apply : t -> Zint.t array -> Zint.t array
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  (** Determinant of a square matrix (fraction-free Bareiss elimination).
+      Raises [Invalid_argument] on non-square input. *)
+  val det : t -> Zint.t
+end
+
+(** [smith a] is [(u, d, v)] with [u * a * v = d], [u] and [v] unimodular,
+    and [d] diagonal with nonnegative entries satisfying the divisibility
+    chain [d.(0,0) | d.(1,1) | ...]. *)
+val smith : Mat.t -> Mat.t * Mat.t * Mat.t
+
+(** [hermite a] is [(u, h)] with [u * a = h], [u] unimodular and [h] in
+    row-style Hermite normal form: echelon, positive pivots, entries above
+    each pivot reduced to [0 <= e < pivot]. *)
+val hermite : Mat.t -> Mat.t * Mat.t
+
+(** [rank a] is the rank of [a] over the rationals. *)
+val rank : Mat.t -> int
+
+(** Integer solutions of [A x = b].
+
+    [solve a b] is [None] when no integer solution exists, otherwise
+    [Some (x0, kernel)]: every solution is
+    [x0 + Σ tᵢ · kernel.(i)] for integers [tᵢ], and the kernel vectors are
+    linearly independent. *)
+val solve : Mat.t -> Zint.t array -> (Zint.t array * Zint.t array array) option
+
+(** [kernel a] is a lattice basis of [{x | A x = 0}]. *)
+val kernel : Mat.t -> Zint.t array array

@@ -1,0 +1,1 @@
+lib/loopapps/hpf.ml: Counting Presburger Zint

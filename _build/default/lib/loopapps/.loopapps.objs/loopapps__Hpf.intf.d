@@ -1,0 +1,1 @@
+lib/loopapps/hpf.mli: Counting Presburger

@@ -1,0 +1,1 @@
+lib/loopapps/loopnest.ml: Counting List Presburger Printf Qpoly Zint

@@ -1,0 +1,1 @@
+lib/loopapps/loopnest.mli: Counting Presburger

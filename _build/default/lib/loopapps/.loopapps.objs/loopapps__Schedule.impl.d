@@ -1,0 +1,1 @@
+lib/loopapps/schedule.ml: Counting List Presburger Qnum String Zint

@@ -1,0 +1,1 @@
+lib/loopapps/schedule.mli: Counting Presburger Qpoly Zint

@@ -1,0 +1,1 @@
+lib/loopapps/simulate.ml: Hashtbl List Loopnest Presburger String Zint

@@ -1,0 +1,1 @@
+lib/loopapps/simulate.mli: Loopnest Zint

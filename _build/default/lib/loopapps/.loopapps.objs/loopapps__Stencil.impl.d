@@ -1,0 +1,1 @@
+lib/loopapps/stencil.ml: Array Counting Ilinalg List Loopnest Presburger Printf Zint

@@ -1,0 +1,1 @@
+lib/loopapps/stencil.mli: Presburger

@@ -1,0 +1,50 @@
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+
+type dist = { procs : int; block : int }
+
+let owner_formula dist ~t ~p =
+  let l = V.fresh_wild () and c = V.fresh_wild () in
+  let block = Zint.of_int dist.block in
+  let cycle = Zint.of_int (dist.block * dist.procs) in
+  F.exists [ l; c ]
+    (F.and_
+       [
+         F.eq t
+           (A.add (A.var l)
+              (A.add (A.scale block p) (A.scale cycle (A.var c))));
+         F.between A.zero (A.var l) (A.of_int (dist.block - 1));
+         F.between A.zero p (A.of_int (dist.procs - 1));
+         F.geq (A.var c) A.zero;
+       ])
+
+let n = A.var (V.named "n")
+
+let ownership_count dist ~proc =
+  let t = A.var (V.named "t") in
+  let f =
+    F.and_
+      [
+        F.between A.zero t (A.add_const n Zint.minus_one);
+        owner_formula dist ~t ~p:(A.of_int proc);
+      ]
+  in
+  Counting.Engine.count ~vars:[ "t" ] f
+
+let messages dist ~shift =
+  let i = A.var (V.named "i") in
+  let p = A.var (V.named "p") and q = A.var (V.named "q") in
+  let f =
+    F.and_
+      [
+        F.between A.zero i
+          (A.add_const n (Zint.of_int (-1 - shift)));
+        owner_formula dist ~t:i ~p;
+        owner_formula dist ~t:(A.add_const i (Zint.of_int shift)) ~p:q;
+        F.neq p q;
+      ]
+  in
+  (* count (i, p, q) triples: owners are functions of i, so this counts
+     the elements that must move *)
+  Counting.Engine.count ~vars:[ "i"; "p"; "q" ] f

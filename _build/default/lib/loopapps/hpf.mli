@@ -1,0 +1,29 @@
+(** HPF block-cyclic distributions (Section 3.3).
+
+    A template [T(0 : size−1)] distributed block-cyclically over [procs]
+    processors with blocks of [block] elements maps template cell [t] to
+    processor [p] and local block/offset [(c, l)] via
+
+    [t = l + block·p + block·procs·c,  0 ≤ l < block,  0 ≤ p < procs] —
+
+    the nonlinear-constraint example the paper desugars into Presburger
+    form. *)
+
+type dist = { procs : int; block : int }
+
+(** [owner_formula dist ~t ~p] relates a template index and its owning
+    processor (both given as affine forms; local coordinates are
+    existential). *)
+val owner_formula :
+  dist -> t:Presburger.Affine.t -> p:Presburger.Affine.t -> Presburger.Formula.t
+
+(** Number of template cells of [T(0 : n−1)] owned by processor [p0],
+    symbolically in [n] ([p0] is a concrete processor number). *)
+val ownership_count : dist -> proc:int -> Counting.Value.t
+
+(** [messages dist ~shift]: for the communication pattern
+    [a(i) = b(i + shift)] with both arrays aligned to the template,
+    counts the elements [i ∈ [0, n−1−shift]] whose operand [i + shift]
+    lives on a {e different} processor — the message volume the paper
+    sizes buffers with. Symbolic in [n]. *)
+val messages : dist -> shift:int -> Counting.Value.t

@@ -1,0 +1,104 @@
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+
+type loop = {
+  var : string;
+  lowers : A.t list;
+  uppers : A.t list;
+}
+
+type access = { array : string; subscripts : A.t list }
+
+type t = {
+  loops : loop list;
+  guards : F.t list;
+  accesses : access list;
+  flops_per_iteration : int;
+}
+
+let loop var lo hi = { var; lowers = [ lo ]; uppers = [ hi ] }
+
+let loop_vars t = List.map (fun l -> l.var) t.loops
+
+let iteration_space t =
+  let bounds =
+    List.concat_map
+      (fun l ->
+        let v = A.var (V.named l.var) in
+        List.map (fun lo -> F.geq v lo) l.lowers
+        @ List.map (fun hi -> F.leq v hi) l.uppers)
+      t.loops
+  in
+  F.and_ (bounds @ t.guards)
+
+let iteration_count t =
+  Counting.Engine.count ~vars:(loop_vars t) (iteration_space t)
+
+let flop_count t =
+  Counting.Engine.sum ~vars:(loop_vars t) (iteration_space t)
+    (Qpoly.of_int t.flops_per_iteration)
+
+let elt_var k = Printf.sprintf "elt%d" k
+
+let touched_elements t ~array =
+  let refs = List.filter (fun a -> a.array = array) t.accesses in
+  if refs = [] then F.fls
+  else begin
+    let space = iteration_space t in
+    let dims = List.length (List.hd refs).subscripts in
+    List.iter
+      (fun r ->
+        if List.length r.subscripts <> dims then
+          invalid_arg "Loopnest.touched_elements: inconsistent array rank")
+      refs;
+    let vars = List.map (fun l -> V.named l.var) t.loops in
+    let per_ref r =
+      F.exists vars
+        (F.and_
+           (space
+           :: List.mapi
+                (fun k s -> F.eq (A.var (V.named (elt_var k))) s)
+                r.subscripts))
+    in
+    F.or_ (List.map per_ref refs)
+  end
+
+let touched_count t ~array =
+  let refs = List.filter (fun a -> a.array = array) t.accesses in
+  if refs = [] then Counting.Value.zero
+  else begin
+    let dims = List.length (List.hd refs).subscripts in
+    Counting.Engine.count
+      ~vars:(List.init dims elt_var)
+      (touched_elements t ~array)
+  end
+
+let cache_line_count t ~array ~words ~base =
+  let refs = List.filter (fun a -> a.array = array) t.accesses in
+  if refs = [] then Counting.Value.zero
+  else begin
+    let dims = List.length (List.hd refs).subscripts in
+    if dims <> 1 && dims <> 2 then
+      invalid_arg "Loopnest.cache_line_count: arrays of rank 1 or 2 only";
+    let space = iteration_space t in
+    let vars = List.map (fun l -> V.named l.var) t.loops in
+    let w = Zint.of_int words in
+    let per_ref r =
+      let first = List.nth r.subscripts 0 in
+      let shifted = A.add_const first (Zint.of_int (-base)) in
+      (* line0 = floor((first - base) / words) *)
+      F.exists vars
+        (F.and_
+           [
+             space;
+             F.floor_div shifted w (fun q ->
+                 F.eq (A.var (V.named "line0")) q);
+             (if dims = 2 then
+                F.eq (A.var (V.named "line1")) (List.nth r.subscripts 1)
+              else F.tru);
+           ])
+    in
+    let vars' = if dims = 2 then [ "line0"; "line1" ] else [ "line0" ] in
+    Counting.Engine.count ~vars:vars' (F.or_ (List.map per_ref refs))
+  end

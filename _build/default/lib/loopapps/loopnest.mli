@@ -1,0 +1,63 @@
+(** Affine loop nests and the counting questions of Section 1.1.
+
+    A nest is a stack of loops with affine lower/upper bound lists
+    (max/min semantics, so [do i = max(1,j-2), min(n, j+2)] is
+    expressible), optional affine guards, and a body described by array
+    accesses and a flop count. From a nest we build Presburger formulas
+    whose solutions are iterations, touched array elements, or flops, and
+    count them symbolically with {!Counting.Engine}. *)
+
+type loop = {
+  var : string;
+  lowers : Presburger.Affine.t list;  (** lower bounds; the max applies *)
+  uppers : Presburger.Affine.t list;  (** upper bounds; the min applies *)
+}
+
+type access = {
+  array : string;
+  subscripts : Presburger.Affine.t list;
+      (** one affine subscript per dimension, over loop variables and
+          symbolic constants *)
+}
+
+type t = {
+  loops : loop list;  (** outermost first *)
+  guards : Presburger.Formula.t list;  (** affine guards on the body *)
+  accesses : access list;  (** array references in the body *)
+  flops_per_iteration : int;
+}
+
+(** [loop v lo hi] is the common single-bound loop [do v = lo, hi]. *)
+val loop :
+  string -> Presburger.Affine.t -> Presburger.Affine.t -> loop
+
+(** Name of the [k]-th element-coordinate variable used by
+    {!touched_elements} (and by {!Stencil.touched_via_summary}):
+    ["elt0"], ["elt1"], … *)
+val elt_var : int -> string
+
+(** Formula over the loop variables: one solution per executed iteration. *)
+val iteration_space : t -> Presburger.Formula.t
+
+(** Number of iterations, symbolically — the execution-time estimate of
+    [TF92] (Section 1.1). *)
+val iteration_count : t -> Counting.Value.t
+
+(** Total flops, symbolically. *)
+val flop_count : t -> Counting.Value.t
+
+(** Formula over fresh element coordinates [elt0, elt1, ...]: one solution
+    per {e distinct} element of [array] touched by the nest. References to
+    the same array are combined as a disjunction (exact, possibly
+    overlapping — the engine's disjoint DNF handles it). *)
+val touched_elements : t -> array:string -> Presburger.Formula.t
+
+(** Number of distinct elements of [array] touched (the FST91 question). *)
+val touched_count : t -> array:string -> Counting.Value.t
+
+(** Distinct cache lines touched, for a 2-D array laid out in columns with
+    [words] consecutive first-coordinate elements per line starting at
+    [base] (the paper's Example 5 mapping [a(i,j) ↦ (⌊(i−base)/words⌋, j)]).
+    For 1-D arrays, the mapping is [a(i) ↦ ⌊(i−base)/words⌋]. *)
+val cache_line_count :
+  t -> array:string -> words:int -> base:int -> Counting.Value.t

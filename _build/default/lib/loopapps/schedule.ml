@@ -1,0 +1,76 @@
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+
+let prefix_sum ~var ~lo work =
+  let b = A.var (V.named "b") in
+  let f = F.and_ [ F.geq (A.var (V.named var)) lo; F.leq (A.var (V.named var)) b ] in
+  Counting.Engine.sum ~vars:[ var ] f work
+
+(* Evaluate the symbolic prefix sum at b = x (other constants must not
+   occur — chunk scheduling is done at runtime when bounds are known). *)
+let eval_prefix prefix x =
+  let env name =
+    if String.equal name "b" then Zint.of_int x else raise Not_found
+  in
+  Counting.Value.eval env prefix
+
+let balanced_chunks ~var ~lo ~hi ~procs work =
+  if procs <= 0 then invalid_arg "Schedule.balanced_chunks: procs <= 0";
+  if hi < lo then invalid_arg "Schedule.balanced_chunks: empty range";
+  let prefix = prefix_sum ~var ~lo:(A.of_int lo) work in
+  let total = eval_prefix prefix hi in
+  (* Find, for each k, the smallest b with W(b) >= k/procs · total, by
+     binary search on the closed form (W is nondecreasing for
+     nonnegative work). *)
+  let boundary k =
+    let target = Qnum.mul total (Qnum.of_ints k procs) in
+    let rec search lo' hi' =
+      if lo' >= hi' then lo'
+      else begin
+        let mid = (lo' + hi') / 2 in
+        if Qnum.compare (eval_prefix prefix mid) target >= 0 then
+          search lo' mid
+        else search (mid + 1) hi'
+      end
+    in
+    search lo hi
+  in
+  let rec build k start acc =
+    if k > procs then List.rev acc
+    else if k = procs then List.rev ((start, hi) :: acc)
+    else begin
+      let b = boundary k in
+      let b = max b start in
+      (* chunk k is [start, b]; next starts at b+1 *)
+      build (k + 1) (b + 1) ((start, min b hi) :: acc)
+    end
+  in
+  build 1 lo []
+
+let chunk_work ~var work (a, b) =
+  if b < a then Zint.zero
+  else begin
+    let f =
+      F.and_
+        [
+          F.geq (A.var (V.named var)) (A.of_int a);
+          F.leq (A.var (V.named var)) (A.of_int b);
+        ]
+    in
+    let v = Counting.Engine.sum ~vars:[ var ] f work in
+    Counting.Value.eval_zint (fun _ -> raise Not_found) v
+  end
+
+let chunk_works ~var ~lo ~hi ~procs work =
+  let chunks = balanced_chunks ~var ~lo ~hi ~procs work in
+  List.map (fun c -> (c, chunk_work ~var work c)) chunks
+
+let imbalance ~var ~work ~chunks =
+  let works =
+    List.map (fun c -> Zint.to_int_exn (chunk_work ~var work c)) chunks
+  in
+  let total = List.fold_left ( + ) 0 works in
+  let maxw = List.fold_left max 0 works in
+  if total = 0 then 1.0
+  else float_of_int maxw /. (float_of_int total /. float_of_int (List.length works))

@@ -1,0 +1,41 @@
+(** Load balance and balanced chunk scheduling (Section 1.1; [TF92],
+    [HP93a]).
+
+    For a parallel loop [do i = lo, hi] whose iteration [i] performs
+    [work(i)] flops (a polynomial — e.g. [n − i + 1] for a triangular
+    inner loop), splitting the index range into [procs] equal-length
+    chunks leaves the load unbalanced. {e Balanced chunk scheduling}
+    instead chooses the chunk boundaries so that every processor receives
+    roughly the same number of flops. The prefix-sum
+    [W(a) = Σ_{i=lo}^{a} work(i)] is computed {e symbolically} once (this
+    is the paper's machinery: a sum with a symbolic upper bound), then the
+    boundaries are found by searching the closed form. *)
+
+(** [prefix_sum ~var ~lo work] is the symbolic
+    [W(b) = (Σ var : lo ≤ var ≤ b : work)], a value in the symbolic
+    constant ["b"] (and any constants of [work]). *)
+val prefix_sum :
+  var:string -> lo:Presburger.Affine.t -> Qpoly.t -> Counting.Value.t
+
+(** [balanced_chunks ~var ~lo ~hi ~procs work] returns [procs] index
+    intervals [(a₁,b₁), …] covering [lo..hi] such that each chunk's total
+    work is within one iteration's work of the ideal share. Concrete
+    bounds. *)
+val balanced_chunks :
+  var:string -> lo:int -> hi:int -> procs:int -> Qpoly.t -> (int * int) list
+
+(** [chunk_works ~var ~lo ~hi ~procs work] pairs each chunk of
+    {!balanced_chunks} with its total work. *)
+val chunk_works :
+  var:string ->
+  lo:int ->
+  hi:int ->
+  procs:int ->
+  Qpoly.t ->
+  ((int * int) * Zint.t) list
+
+(** Max-over-average load ratio of a chunk assignment (1.0 = perfectly
+    balanced); compares naive equal-length splitting with balanced
+    chunks. *)
+val imbalance :
+  var:string -> work:Qpoly.t -> chunks:(int * int) list -> float

@@ -1,0 +1,81 @@
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+
+type trace = {
+  iterations : int;
+  flops : int;
+  touched : (string * int list) list;
+}
+
+let run ?(max_iterations = 10_000_000) (nest : Loopnest.t) env =
+  let iterations = ref 0 in
+  let seen : (string * int list, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let lookup bound v =
+    match List.assoc_opt (V.to_string v) bound with
+    | Some x -> Zint.of_int x
+    | None -> env (V.to_string v)
+  in
+  let eval_aff bound e = A.eval (lookup bound) e in
+  let rec exec bound = function
+    | [] ->
+        if List.for_all (F.holds (lookup bound)) nest.Loopnest.guards then begin
+          incr iterations;
+          if !iterations > max_iterations then
+            invalid_arg "Simulate.run: iteration budget exceeded";
+          List.iter
+            (fun (a : Loopnest.access) ->
+              let coords =
+                List.map
+                  (fun s -> Zint.to_int_exn (eval_aff bound s))
+                  a.Loopnest.subscripts
+              in
+              Hashtbl.replace seen (a.Loopnest.array, coords) ())
+            nest.Loopnest.accesses
+        end
+    | (l : Loopnest.loop) :: rest ->
+        let lo =
+          List.fold_left
+            (fun acc e -> Zint.max acc (eval_aff bound e))
+            (eval_aff bound (List.hd l.Loopnest.lowers))
+            (List.tl l.Loopnest.lowers)
+        in
+        let hi =
+          List.fold_left
+            (fun acc e -> Zint.min acc (eval_aff bound e))
+            (eval_aff bound (List.hd l.Loopnest.uppers))
+            (List.tl l.Loopnest.uppers)
+        in
+        let lo = Zint.to_int_exn lo and hi = Zint.to_int_exn hi in
+        for x = lo to hi do
+          exec ((l.Loopnest.var, x) :: bound) rest
+        done
+  in
+  exec [] nest.Loopnest.loops;
+  {
+    iterations = !iterations;
+    flops = !iterations * nest.Loopnest.flops_per_iteration;
+    touched =
+      Hashtbl.fold (fun k () acc -> k :: acc) seen []
+      |> List.sort compare;
+  }
+
+let touched_of trace ~array =
+  List.filter_map
+    (fun (a, coords) -> if String.equal a array then Some coords else None)
+    trace.touched
+
+let lines_of trace ~array ~words ~base =
+  touched_of trace ~array
+  |> List.map (fun coords ->
+         match coords with
+         | first :: rest ->
+             let q =
+               Zint.to_int_exn
+                 (Zint.fdiv
+                    (Zint.of_int (first - base))
+                    (Zint.of_int words))
+             in
+             q :: rest
+         | [] -> [])
+  |> List.sort_uniq compare

@@ -1,0 +1,30 @@
+(** A concrete loop-nest interpreter — the validation substrate.
+
+    The paper's claims are about real loops: the number of iterations a
+    nest executes, the distinct array elements it touches, the cache lines
+    those map to. This module {e executes} a {!Loopnest.t} for concrete
+    parameter values, recording exactly those events, so every symbolic
+    count can be checked against an actual run (the integration tests and
+    the EXPERIMENTS.md numbers do this). *)
+
+type trace = {
+  iterations : int;  (** executed iterations *)
+  flops : int;
+  touched : (string * int list) list;
+      (** distinct (array, subscript-vector) pairs, sorted *)
+}
+
+(** [run nest env] interprets the nest under the parameter assignment
+    [env] (symbolic constants by name). Loop bounds follow the max/min
+    semantics of {!Loopnest.t}; guards are evaluated per iteration.
+    Raises [Invalid_argument] if an executed region exceeds
+    [max_iterations] (default 10 million) — simulation is for test-sized
+    parameters. *)
+val run : ?max_iterations:int -> Loopnest.t -> (string -> Zint.t) -> trace
+
+(** Distinct elements of one array in a trace. *)
+val touched_of : trace -> array:string -> int list list
+
+(** Distinct cache lines of one array under the mapping of
+    {!Loopnest.cache_line_count} ([a(i,…) ↦ (⌊(i−base)/words⌋, …)]). *)
+val lines_of : trace -> array:string -> words:int -> base:int -> int list list

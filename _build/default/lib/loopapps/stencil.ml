@@ -1,0 +1,229 @@
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+
+let dvar k = Printf.sprintf "d%d" k
+let davar k = A.var (V.named (dvar k))
+
+let check_offsets offsets =
+  match offsets with
+  | [] -> invalid_arg "Stencil: empty offset set"
+  | p :: rest ->
+      let d = Array.length p in
+      if d < 1 || d > 2 then
+        invalid_arg "Stencil: only 1-D and 2-D offsets supported by hulls";
+      List.iter
+        (fun q ->
+          if Array.length q <> d then
+            invalid_arg "Stencil: offsets of mixed dimension")
+        rest;
+      d
+
+(* Count the solutions of a parameter-free formula over the displacement
+   variables; the summary is exact iff this equals the offset count. *)
+let exact_summary formula ~dims ~n_offsets =
+  match
+    Counting.Engine.count ~vars:(List.init dims dvar) formula
+  with
+  | value -> begin
+      match
+        Counting.Value.eval_zint (fun _ -> raise Not_found) value
+      with
+      | z -> Zint.to_int z = Some n_offsets
+      | exception _ -> false
+    end
+  | exception _ -> false
+
+let dedup offsets =
+  List.sort_uniq (fun a b -> compare a b) offsets
+
+let hull_summary offsets =
+  let offsets = dedup offsets in
+  let d = check_offsets offsets in
+  let n = List.length offsets in
+  let candidate =
+    if d = 1 then begin
+      let xs = List.map (fun p -> p.(0)) offsets in
+      let lo = List.fold_left min (List.hd xs) xs in
+      let hi = List.fold_left max (List.hd xs) xs in
+      let g =
+        List.fold_left
+          (fun acc x -> Zint.gcd acc (Zint.of_int (x - lo)))
+          Zint.zero xs
+      in
+      let range = F.between (A.of_int lo) (davar 0) (A.of_int hi) in
+      if Zint.is_zero g then F.and_ [ range ] (* single point: lo = hi *)
+      else
+        F.and_
+          [ range; F.stride g (A.add_const (davar 0) (Zint.of_int (-lo))) ]
+    end
+    else begin
+      (* 2-D: Andrew monotone chain over native ints (offsets are small). *)
+      let pts =
+        List.sort compare (List.map (fun p -> (p.(0), p.(1))) offsets)
+      in
+      let cross (ox, oy) (ax, ay) (bx, by) =
+        ((ax - ox) * (by - oy)) - ((ay - oy) * (bx - ox))
+      in
+      let build half =
+        List.fold_left
+          (fun acc p ->
+            let rec pop = function
+              | b :: a :: rest when cross a b p <= 0 -> pop (a :: rest)
+              | acc -> acc
+            in
+            p :: pop acc)
+          [] half
+      in
+      let lower = build pts in
+      let upper = build (List.rev pts) in
+      let hull = List.rev (List.tl lower) @ List.rev (List.tl upper) in
+      (* hull is CCW without repetition; rank detection *)
+      let p0 = List.hd pts in
+      let diffs =
+        List.map (fun (x, y) -> (x - fst p0, y - snd p0)) (List.tl pts)
+      in
+      let rank =
+        if List.for_all (fun (x, y) -> x = 0 && y = 0) diffs then 0
+        else if
+          List.for_all
+            (fun (x, y) ->
+              List.for_all (fun (x', y') -> (x * y') - (y * x') = 0) diffs)
+            diffs
+        then 1
+        else 2
+      in
+      if rank = 0 then
+        F.and_
+          [
+            F.eq (davar 0) (A.of_int (fst p0));
+            F.eq (davar 1) (A.of_int (snd p0));
+          ]
+      else if rank = 1 then begin
+        (* segment: primitive direction v, points p0 + t·v;
+           pick the longest diff as direction, reduce to primitive *)
+        let dx, dy =
+          List.fold_left
+            (fun (bx, by) (x, y) ->
+              if (x * x) + (y * y) > (bx * bx) + (by * by) then (x, y)
+              else (bx, by))
+            (0, 0) diffs
+        in
+        let g =
+          Zint.to_int_exn (Zint.gcd (Zint.of_int dx) (Zint.of_int dy))
+        in
+        let vx = dx / g and vy = dy / g in
+        (* every diff must be an integer multiple t of (vx, vy) *)
+        let ts =
+          List.map
+            (fun (x, y) -> if vx <> 0 then x / vx else y / vy)
+            ((0, 0) :: diffs)
+        in
+        let tmin = List.fold_left min 0 ts and tmax = List.fold_left max 0 ts in
+        let t = V.fresh_wild () in
+        F.exists [ t ]
+          (F.and_
+             [
+               F.between (A.of_int tmin) (A.var t) (A.of_int tmax);
+               F.eq (davar 0)
+                 (A.add_const
+                    (A.scale (Zint.of_int vx) (A.var t))
+                    (Zint.of_int (fst p0)));
+               F.eq (davar 1)
+                 (A.add_const
+                    (A.scale (Zint.of_int vy) (A.var t))
+                    (Zint.of_int (snd p0)));
+             ])
+      end
+      else begin
+        (* full-rank: hull edge inequalities + difference lattice *)
+        let edges =
+          let arr = Array.of_list hull in
+          let k = Array.length arr in
+          List.init k (fun i ->
+              let px, py = arr.(i) and qx, qy = arr.((i + 1) mod k) in
+              (* CCW interior: (qx-px)(y-py) - (qy-py)(x-px) >= 0 *)
+              let a = -(qy - py) and b = qx - px in
+              let c = -((a * px) + (b * py)) in
+              A.add_const
+                (A.add
+                   (A.scale (Zint.of_int a) (davar 0))
+                   (A.scale (Zint.of_int b) (davar 1)))
+                (Zint.of_int c))
+        in
+        (* lattice of differences via HNF *)
+        let mat =
+          Ilinalg.Mat.of_int_arrays
+            (Array.of_list (List.map (fun (x, y) -> [| x; y |]) diffs))
+        in
+        let _, h = Ilinalg.hermite mat in
+        let basis =
+          List.init (Ilinalg.Mat.rows h) (fun i ->
+              ( Ilinalg.Mat.get h i 0,
+                Ilinalg.Mat.get h i 1 ))
+          |> List.filter (fun (x, y) ->
+                 not (Zint.is_zero x && Zint.is_zero y))
+        in
+        let ss = List.map (fun _ -> V.fresh_wild ()) basis in
+        let combo k =
+          List.fold_left2
+            (fun acc (bx, by) s ->
+              let c = if k = 0 then bx else by in
+              A.add acc (A.scale c (A.var s)))
+            (A.of_int (if k = 0 then fst p0 else snd p0))
+            basis ss
+        in
+        F.exists ss
+          (F.and_
+             (F.eq (davar 0) (combo 0)
+             :: F.eq (davar 1) (combo 1)
+             :: List.map (fun e -> F.atom (F.Geq e)) edges))
+      end
+    end
+  in
+  if exact_summary candidate ~dims:d ~n_offsets:n then Some candidate
+  else None
+
+let zero_one_summary offsets =
+  let offsets = dedup offsets in
+  let d = Array.length (List.hd offsets) in
+  let zs = List.map (fun _ -> V.fresh_wild ()) offsets in
+  let one = A.of_int 1 in
+  let sum_z =
+    List.fold_left (fun acc z -> A.add acc (A.var z)) A.zero zs
+  in
+  let coord k =
+    List.fold_left2
+      (fun acc p z -> A.add acc (A.scale (Zint.of_int p.(k)) (A.var z)))
+      A.zero offsets zs
+  in
+  F.exists zs
+    (F.and_
+       (F.eq sum_z one
+       :: List.map (fun z -> F.between A.zero (A.var z) one) zs
+       @ List.init d (fun k -> F.eq (davar k) (coord k))))
+
+let summarize offsets =
+  match hull_summary offsets with
+  | Some f -> f
+  | None -> zero_one_summary offsets
+
+let touched_via_summary ~space ~vars ~subscripts ~offsets =
+  let d = List.length subscripts in
+  (match offsets with
+  | [] -> invalid_arg "Stencil.touched_via_summary: empty offsets"
+  | p :: _ ->
+      if Array.length p <> d then
+        invalid_arg "Stencil.touched_via_summary: offset/subscript rank mismatch");
+  let summary = summarize offsets in
+  let vnames = List.map V.named vars in
+  let dnames = List.init d (fun k -> V.named (dvar k)) in
+  F.exists (vnames @ dnames)
+    (F.and_
+       (space :: summary
+       :: List.mapi
+            (fun k s ->
+              F.eq
+                (A.var (V.named (Loopnest.elt_var k)))
+                (A.add s (davar k)))
+            subscripts))

@@ -1,0 +1,40 @@
+(** Summarizing uniformly generated reference sets (Section 5.1).
+
+    References like [a(i,j)], [a(i−1,j)], [a(i+1,j)], [a(i,j−1)],
+    [a(i,j+1)] differ only by constant offsets. Building the touched-set
+    formula as a disjunction over the references yields overlapping
+    clauses; summarizing the offset set as "the integer points of its
+    convex hull (plus stride constraints)" yields a single clause
+    (disjointness for free) — when the summary is exact.
+
+    Two methods, as in the paper:
+    + convex hull + lattice (stride) detection, with an exactness check
+      that {e counts} the summary's points using the counting engine and
+      compares with the number of offsets;
+    + the Ancourt 0–1 encoding: [m̄ = Σ zᵢ·p̄ᵢ, Σ zᵢ = 1, 0 ≤ zᵢ ≤ 1],
+      which is always available but leans on the simplifier. *)
+
+(** [hull_summary offsets] — offsets are integer vectors, all of the same
+    dimension [d ∈ {1, 2}]. Returns a formula over the displacement
+    variables [d0, d1, …] whose solutions are exactly the offsets, or
+    [None] when hull + lattice is inexact (e.g. a hollow pattern). *)
+val hull_summary : int array list -> Presburger.Formula.t option
+
+(** The 0–1 encoding of the same set (any dimension); exact by
+    construction but harder on the simplifier. *)
+val zero_one_summary : int array list -> Presburger.Formula.t
+
+(** [summarize offsets] tries {!hull_summary}, falling back to
+    {!zero_one_summary} — the paper's "try both" policy. *)
+val summarize : int array list -> Presburger.Formula.t
+
+(** [touched_via_summary ~space ~vars ~subscripts ~offsets]: formula over
+    element coordinates [elt0, …] describing the elements
+    [subscripts + offset] touched for iterations in [space] — a single
+    non-overlapping description of a uniformly generated set. *)
+val touched_via_summary :
+  space:Presburger.Formula.t ->
+  vars:string list ->
+  subscripts:Presburger.Affine.t list ->
+  offsets:int array list ->
+  Presburger.Formula.t

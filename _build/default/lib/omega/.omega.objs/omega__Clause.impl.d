@@ -1,0 +1,1 @@
+lib/omega/clause.ml: Array Format Ilinalg List Map Presburger Zint

@@ -1,0 +1,1 @@
+lib/omega/clause.mli: Format Presburger Zint

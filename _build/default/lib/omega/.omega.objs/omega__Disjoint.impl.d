@@ -1,0 +1,1 @@
+lib/omega/disjoint.ml: Array Clause Dnf Gist Hashtbl List Option Presburger Solve

@@ -1,0 +1,1 @@
+lib/omega/disjoint.mli: Clause Presburger

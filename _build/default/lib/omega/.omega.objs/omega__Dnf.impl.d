@@ -1,0 +1,1 @@
+lib/omega/dnf.ml: Clause Gist List Presburger Solve Zint

@@ -1,0 +1,1 @@
+lib/omega/dnf.mli: Clause Presburger Solve

@@ -1,0 +1,1 @@
+lib/omega/gist.ml: Clause List Presburger Solve Zint

@@ -1,0 +1,1 @@
+lib/omega/gist.mli: Clause Presburger Zint

@@ -1,0 +1,1 @@
+lib/omega/solve.ml: Clause List Option Presburger Zint

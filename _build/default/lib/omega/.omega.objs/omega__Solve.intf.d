@@ -1,0 +1,1 @@
+lib/omega/solve.mli: Clause Presburger

@@ -1,0 +1,202 @@
+module V = Presburger.Var
+
+let pairwise_disjoint cls =
+  let arr = Array.of_list cls in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if !ok && Solve.feasible_conjoin arr.(i) arr.(j) then ok := false
+    done
+  done;
+  !ok
+
+(* Overlap graph as adjacency lists over indices. *)
+let overlap_graph arr =
+  let n = Array.length arr in
+  let adj = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Solve.feasible_conjoin arr.(i) arr.(j) then begin
+        adj.(i) <- j :: adj.(i);
+        adj.(j) <- i :: adj.(j)
+      end
+    done
+  done;
+  adj
+
+let connected_components adj =
+  let n = Array.length adj in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for i = 0 to n - 1 do
+    if not seen.(i) then begin
+      let comp = ref [] in
+      let rec dfs v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          comp := v :: !comp;
+          List.iter dfs adj.(v)
+        end
+      in
+      dfs i;
+      comps := List.rev !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+(* Articulation points of an undirected graph restricted to [nodes],
+   standard low-link DFS. *)
+let articulation_points adj nodes =
+  let in_nodes = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace in_nodes v ()) nodes;
+  let disc = Hashtbl.create 16 and low = Hashtbl.create 16 in
+  let arts = Hashtbl.create 16 in
+  let timer = ref 0 in
+  let rec dfs parent v =
+    incr timer;
+    Hashtbl.replace disc v !timer;
+    Hashtbl.replace low v !timer;
+    let children = ref 0 in
+    List.iter
+      (fun w ->
+        if Hashtbl.mem in_nodes w then begin
+          if not (Hashtbl.mem disc w) then begin
+            incr children;
+            dfs (Some v) w;
+            let lw = Hashtbl.find low w and lv = Hashtbl.find low v in
+            Hashtbl.replace low v (min lv lw);
+            if parent <> None && Hashtbl.find low w >= Hashtbl.find disc v
+            then Hashtbl.replace arts v ()
+          end
+          else if Some w <> parent then begin
+            let lv = Hashtbl.find low v and dw = Hashtbl.find disc w in
+            Hashtbl.replace low v (min lv dw)
+          end
+        end)
+      adj.(v);
+    if parent = None && !children > 1 then Hashtbl.replace arts v ()
+  in
+  List.iter (fun v -> if not (Hashtbl.mem disc v) then dfs None v) nodes;
+  List.filter (Hashtbl.mem arts) nodes
+
+(* Disjoint negation of a wildcard-free clause c with constraints
+   k₁ … k_m:  ¬c = ⊎ᵢ (k₁ ∧ … ∧ k_{i−1} ∧ ¬kᵢ), with each ¬kᵢ itself a
+   disjoint union (Gist.negate_constraint pieces are disjoint). *)
+let negate_disjoint (c : Clause.t) : Clause.t list =
+  if not (V.Set.is_empty c.Clause.wilds) then
+    invalid_arg "Disjoint.negate_disjoint: clause must be wildcard-free";
+  let ks = Gist.constraints_of c in
+  let rec go prefix = function
+    | [] -> []
+    | k :: rest ->
+        let negs = Gist.negate_constraint k in
+        let pieces =
+          List.filter_map
+            (fun neg -> Clause.normalize (Clause.conjoin prefix neg))
+            negs
+        in
+        pieces
+        @ go
+            (Clause.conjoin prefix (Gist.clause_of_constraints V.Set.empty [ k ]))
+            rest
+  in
+  go Clause.top ks
+
+let max_disjoint_depth = 64
+
+let rec disjointify depth (cls : Clause.t list) : Clause.t list =
+  if depth > max_disjoint_depth then
+    failwith "Omega.Disjoint: recursion limit exceeded";
+  match cls with
+  | [] | [ _ ] -> cls
+  | _ -> begin
+      let arr = Array.of_list cls in
+      (* Step 1: drop clauses subsumed by another. *)
+      let n = Array.length arr in
+      let dead = Array.make n false in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && (not dead.(i)) && (not dead.(j))
+             && Gist.implies arr.(i) arr.(j)
+          then
+            (* arr.(i) ⊆ arr.(j): drop i. Break ties by index to avoid
+               deleting both members of an equivalent pair. *)
+            if not (Gist.implies arr.(j) arr.(i)) || j < i then
+              dead.(i) <- true
+        done
+      done;
+      let remaining =
+        List.filteri (fun i _ -> not dead.(i)) (Array.to_list arr)
+      in
+      let arr = Array.of_list remaining in
+      if Array.length arr <= 1 then Array.to_list arr
+      else begin
+        (* Step 2: connected components of the overlap graph. *)
+        let adj = overlap_graph arr in
+        let comps = connected_components adj in
+        List.concat_map
+          (fun comp ->
+            match comp with
+            | [] -> []
+            | [ i ] -> [ arr.(i) ]
+            | _ ->
+                (* Step 3: extract an articulation point if possible, else
+                   the clause with fewest constraints. *)
+                let pick =
+                  match articulation_points adj comp with
+                  | i :: _ -> i
+                  | [] ->
+                      List.fold_left
+                        (fun best i ->
+                          match best with
+                          | Some b when Clause.size arr.(b) <= Clause.size arr.(i)
+                            ->
+                              best
+                          | _ -> Some i)
+                        None comp
+                      |> Option.get
+                in
+                let c1 = arr.(pick) in
+                let rest =
+                  List.filter_map
+                    (fun i -> if i = pick then None else Some arr.(i))
+                    comp
+                in
+                (* Step 4: C₁ + (¬C₁ ∧ rest), with the disjoint negation of
+                   C₁ distributed and gist-simplified against each clause
+                   it lands on. *)
+                let pieces = negate_disjoint c1 in
+                let groups =
+                  List.map
+                    (fun piece ->
+                      List.filter_map
+                        (fun cj ->
+                          let simplified =
+                            Gist.gist piece ~given:cj
+                          in
+                          match
+                            Clause.normalize (Clause.conjoin cj simplified)
+                          with
+                          | None -> None
+                          | Some c ->
+                              if Solve.is_feasible c then Some c else None)
+                        rest)
+                    pieces
+                in
+                (* Clauses within one piece may still overlap: recurse.
+                   Distinct pieces are disjoint; everything is disjoint
+                   from c1. *)
+                c1
+                :: List.concat_map
+                     (fun g -> disjointify (depth + 1) g)
+                     groups)
+          comps
+      end
+    end
+
+let to_disjoint cls =
+  let cls = List.filter Solve.is_feasible cls in
+  disjointify 0 cls
+
+let of_formula f = to_disjoint (Dnf.of_formula ~mode:Solve.Exact_disjoint f)

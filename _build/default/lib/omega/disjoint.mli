@@ -1,0 +1,26 @@
+(** Disjoint disjunctive normal form (Section 5 of the paper).
+
+    A list of clauses is {e disjoint} when no integer point satisfies two
+    of them; sums over disjoint clauses can simply be added (Section 4.5.1),
+    avoiding the exponential inclusion–exclusion of [FST91].
+
+    The conversion implements Section 5.3: subset elimination, overlap
+    graph connected components, extraction of an articulation-point (or
+    smallest) clause [C₁], the rewrite
+    [C₁ ∨ rest  =  C₁ + (¬C₁ ∧ rest)] with a {e disjoint negation} of
+    [C₁], gist-simplification of the distributed negation pieces, and
+    recursion. *)
+
+(** [to_disjoint cls] converts a (possibly overlapping) clause list into an
+    equivalent pairwise-disjoint one. Clauses must be wildcard-free (as
+    produced by {!Dnf.of_formula}). *)
+val to_disjoint : Clause.t list -> Clause.t list
+
+(** [of_formula f] is disjoint DNF directly from a formula:
+    {!Dnf.of_formula} with disjoint splintering, followed by
+    {!to_disjoint}. *)
+val of_formula : Presburger.Formula.t -> Clause.t list
+
+(** [pairwise_disjoint cls] checks disjointness by feasibility of each
+    pairwise conjunction (used in tests and assertions). *)
+val pairwise_disjoint : Clause.t list -> bool

@@ -1,0 +1,79 @@
+module V = Presburger.Var
+module A = Presburger.Affine
+module F = Presburger.Formula
+
+let clause_of_atom = function
+  | F.Geq e -> Clause.make ~geqs:[ e ] ()
+  | F.Eq e -> Clause.make ~eqs:[ e ] ()
+  | F.Stride (m, e) -> Clause.make ~strides:[ (m, e) ] ()
+
+let negate_atom = function
+  | F.Geq e ->
+      [ Clause.make ~geqs:[ A.add_const (A.neg e) Zint.minus_one ] () ]
+  | F.Eq e ->
+      [
+        Clause.make ~geqs:[ A.add_const e Zint.minus_one ] ();
+        Clause.make ~geqs:[ A.add_const (A.neg e) Zint.minus_one ] ();
+      ]
+  | F.Stride (m, e) ->
+      let rec go r acc =
+        if Zint.compare r m >= 0 then List.rev acc
+        else
+          go (Zint.succ r)
+            (Clause.make ~strides:[ (m, A.add_const e (Zint.neg r)) ] () :: acc)
+      in
+      go Zint.one []
+
+(* Conjunction product of clause lists, with wildcard renaming on the right
+   to avoid capture between descendants of shared subformulas, dropping
+   clauses that normalize to false. *)
+let product (xs : Clause.t list) (ys : Clause.t list) : Clause.t list =
+  List.concat_map
+    (fun x ->
+      List.filter_map
+        (fun y ->
+          Clause.normalize (Clause.conjoin x (Clause.rename_wilds y)))
+        ys)
+    xs
+
+let negate_clause (c : Clause.t) : Clause.t list =
+  if not (V.Set.is_empty c.Clause.wilds) then
+    invalid_arg "Dnf.negate_clause: clause must be wildcard-free";
+  let atoms =
+    List.map (fun e -> F.Eq e) c.eqs
+    @ List.map (fun e -> F.Geq e) c.geqs
+    @ List.map (fun (m, e) -> F.Stride (m, e)) c.strides
+  in
+  List.concat_map negate_atom atoms
+
+let negate_clauses (cls : Clause.t list) : Clause.t list =
+  (* ¬(C1 ∨ ... ∨ Ck) = ¬C1 ∧ ... ∧ ¬Ck *)
+  List.fold_left
+    (fun acc c -> product acc (negate_clause c))
+    [ Clause.top ] cls
+
+let of_formula ?(mode = Solve.Exact_overlapping) f =
+  let rec go f =
+    match f with
+    | F.True -> [ Clause.top ]
+    | F.False -> []
+    | F.Atom a -> [ clause_of_atom a ]
+    | F.And fs ->
+        List.fold_left (fun acc g -> product acc (go g)) [ Clause.top ] fs
+    | F.Or fs -> List.concat_map go fs
+    | F.Not g -> negate_clauses (go g)
+    | F.Exists (vs, g) ->
+        List.concat_map (fun c -> Solve.project mode vs c) (go g)
+    | F.Forall (vs, g) ->
+        (* ∀v.g  =  ¬∃v.¬g *)
+        negate_clauses
+          (List.concat_map
+             (fun c -> Solve.project mode vs c)
+             (go (F.not_ g)))
+  in
+  go f
+  |> List.filter_map Gist.remove_redundant
+  |> List.filter Solve.is_feasible
+
+let simplify ?mode f =
+  F.or_ (List.map Clause.to_formula (of_formula ?mode f))

@@ -1,0 +1,29 @@
+(** Simplification of arbitrary Presburger formulas to disjunctive normal
+    form (Section 2.6).
+
+    The result is a list of {e wildcard-free, stride-format} clauses whose
+    union is equivalent to the input formula: quantified variables are
+    eliminated exactly by {!Solve.project} (equality substitution,
+    scale-and-substitute, shadow elimination with splintering), negation is
+    pushed to atoms (negated strides expand into residue classes,
+    Section 3.2), and universal quantifiers go through the ¬∃¬ dual, which
+    requires negating intermediate clause lists — possible precisely
+    because they are wildcard-free. *)
+
+(** [of_formula ~mode f] converts [f] to DNF. [mode] selects the
+    splintering flavour used during projection (default
+    {!Solve.Exact_overlapping}; use {!Solve.Exact_disjoint} as the first
+    step toward disjoint DNF). Clauses are normalized, checked feasible,
+    and stripped of redundant constraints. *)
+val of_formula : ?mode:Solve.mode -> Presburger.Formula.t -> Clause.t list
+
+(** [negate_clauses cls] is a DNF of [¬(⋁ cls)]. Clauses must be
+    wildcard-free. *)
+val negate_clauses : Clause.t list -> Clause.t list
+
+(** [negate_clause c] is a DNF of [¬c] for a wildcard-free clause. *)
+val negate_clause : Clause.t -> Clause.t list
+
+(** Convenience: [simplify f] pretty-prints [of_formula f] back as a
+    formula (disjunction of clause formulas). *)
+val simplify : ?mode:Solve.mode -> Presburger.Formula.t -> Presburger.Formula.t

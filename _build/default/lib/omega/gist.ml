@@ -1,0 +1,98 @@
+module V = Presburger.Var
+module A = Presburger.Affine
+
+(* An atomic constraint, reified so redundancy machinery can treat the
+   three kinds uniformly. *)
+type kind = Kgeq of A.t | Keq of A.t | Kstride of Zint.t * A.t
+
+let constraints_of (c : Clause.t) =
+  List.map (fun e -> Kgeq e) c.geqs
+  @ List.map (fun e -> Keq e) c.eqs
+  @ List.map (fun (m, e) -> Kstride (m, e)) c.strides
+
+let clause_of_constraints wilds ks =
+  List.fold_left
+    (fun (c : Clause.t) k ->
+      match k with
+      | Kgeq e -> { c with geqs = e :: c.geqs }
+      | Keq e -> { c with eqs = e :: c.eqs }
+      | Kstride (m, e) -> { c with strides = (m, e) :: c.strides })
+    { Clause.top with wilds }
+    ks
+
+(* Clauses covering the negation of a constraint. Pieces are pairwise
+   disjoint by construction (used by Disjoint as well). *)
+let negate_constraint = function
+  | Kgeq e ->
+      (* ¬(e ≥ 0) ⇔ -e - 1 ≥ 0 *)
+      [ Clause.make ~geqs:[ A.add_const (A.neg e) Zint.minus_one ] () ]
+  | Keq e ->
+      [
+        Clause.make ~geqs:[ A.add_const e Zint.minus_one ] ();
+        Clause.make ~geqs:[ A.add_const (A.neg e) Zint.minus_one ] ();
+      ]
+  | Kstride (m, e) ->
+      (* ¬(m | e) ⇔ e ≡ r (mod m) for some r in [1, m-1] *)
+      let rec go r acc =
+        if Zint.compare r m >= 0 then List.rev acc
+        else
+          go (Zint.succ r)
+            (Clause.make ~strides:[ (m, A.add_const e (Zint.neg r)) ] () :: acc)
+      in
+      go Zint.one []
+
+(* [context ⟹ k]: the context (a clause) entails constraint k. *)
+let entails context k =
+  List.for_all
+    (fun neg -> not (Solve.feasible_conjoin context neg))
+    (negate_constraint k)
+
+let remove_redundant (c : Clause.t) =
+  match Clause.normalize c with
+  | None -> None
+  | Some c ->
+      if not (Solve.is_feasible c) then None
+      else begin
+        (* Iterate over constraints, keeping each only if not implied by
+           the others that remain. *)
+        let rec filter kept = function
+          | [] -> List.rev kept
+          | k :: rest ->
+              let context =
+                clause_of_constraints c.wilds (List.rev_append kept rest)
+              in
+              if entails context k then filter kept rest
+              else filter (k :: kept) rest
+        in
+        let ks = filter [] (constraints_of c) in
+        Clause.normalize (clause_of_constraints c.wilds ks)
+      end
+
+let gist p ~given =
+  if not (V.Set.is_empty p.Clause.wilds) then
+    invalid_arg "Gist.gist: p must be wildcard-free";
+  let given = Clause.rename_wilds given in
+  let rec filter kept = function
+    | [] -> List.rev kept
+    | k :: rest ->
+        let context =
+          Clause.conjoin given
+            (clause_of_constraints V.Set.empty (List.rev_append kept rest))
+        in
+        if entails context k then filter kept rest
+        else filter (k :: kept) rest
+  in
+  let ks = filter [] (constraints_of p) in
+  clause_of_constraints V.Set.empty ks
+
+let implies p q =
+  if not (Solve.is_feasible p) then true
+  else begin
+    let q =
+      match Clause.eqs_to_strides (Clause.rename_wilds q) with
+      | Some q -> q
+      | None -> q (* infeasible q: fall through to the checks below *)
+    in
+    if not (V.Set.is_empty q.Clause.wilds) then false
+    else List.for_all (fun k -> entails p k) (constraints_of q)
+  end

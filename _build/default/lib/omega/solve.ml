@@ -1,0 +1,338 @@
+module V = Presburger.Var
+module A = Presburger.Affine
+
+type mode = Exact_overlapping | Exact_disjoint | Approx_dark | Approx_real
+
+(* Bounds on [v] among the inequalities:
+   - lower (b, β):  β ≤ b·v   (from  b·v − β ≥ 0)
+   - upper (a, α):  a·v ≤ α   (from  α − a·v ≥ 0)
+   [rest] collects constraints not involving v. *)
+let bounds v geqs =
+  List.fold_left
+    (fun (lowers, uppers, rest) e ->
+      let cf = A.coeff e v in
+      if Zint.is_zero cf then (lowers, uppers, e :: rest)
+      else begin
+        let r = A.subst e v A.zero in
+        if Zint.sign cf > 0 then ((cf, A.neg r) :: lowers, uppers, rest)
+        else (lowers, (Zint.neg cf, r) :: uppers, rest)
+      end)
+    ([], [], []) geqs
+
+(* Exactly eliminate [v] using an equality that contains it: from
+   k·v = rhs we learn |k| divides rhs (a stride), and every other
+   constraint can be scaled by |k| and have k·v replaced by ±rhs
+   (inequalities scale by positive constants soundly; strides scale their
+   modulus). This "scale-and-substitute" step replaces the CACM mod-trick:
+   it is exact, always applicable, and terminates in conjunction with
+   stride normalization, which reduces coefficients modulo the modulus. *)
+let eliminate_via_eq v c =
+  let open Clause in
+  (* pick the equality with the smallest |coefficient| on v *)
+  let best =
+    List.fold_left
+      (fun best e ->
+        let k = A.coeff e v in
+        if Zint.is_zero k then best
+        else
+          match best with
+          | Some (k0, _) when Zint.compare (Zint.abs k0) (Zint.abs k) <= 0 ->
+              best
+          | _ -> Some (k, e))
+      None c.eqs
+  in
+  match best with
+  | None -> invalid_arg "Solve.eliminate_via_eq: no equality contains v"
+  | Some (k, e) ->
+      let r = A.subst e v A.zero in
+      (* k·v = -r. Normalize to k'·v = rhs with k' > 0. *)
+      let k', rhs =
+        if Zint.sign k > 0 then (k, A.neg r) else (Zint.neg k, r)
+      in
+      let other_eqs = List.filter (fun e' -> not (e' == e)) c.eqs in
+      if Zint.is_one k' then begin
+        let c' =
+          subst
+            { c with eqs = other_eqs; wilds = V.Set.remove v c.wilds }
+            v rhs
+        in
+        c'
+      end
+      else begin
+        let scale_subst x =
+          let cv = A.coeff x v in
+          if Zint.is_zero cv then x
+          else A.add (A.scale k' (A.subst x v A.zero)) (A.scale cv rhs)
+        in
+        {
+          wilds = V.Set.remove v c.wilds;
+          eqs = List.map scale_subst other_eqs;
+          geqs = List.map scale_subst c.geqs;
+          strides =
+            (k', rhs)
+            :: List.map
+                 (fun (m, x) ->
+                   if Zint.is_zero (A.coeff x v) then (m, x)
+                   else (Zint.mul m k', scale_subst x))
+                 c.strides;
+        }
+      end
+
+let check_no_eq_occurrence v (c : Clause.t) =
+  let occurs e = not (Zint.is_zero (A.coeff e v)) in
+  if List.exists occurs c.eqs || List.exists (fun (_, e) -> occurs e) c.strides
+  then
+    invalid_arg
+      "Solve.eliminate: variable still occurs in equalities or strides"
+
+let eliminate mode v (c : Clause.t) : Clause.t list =
+  check_no_eq_occurrence v c;
+  let lowers, uppers, rest = bounds v c.geqs in
+  let base = { c with geqs = rest; wilds = V.Set.remove v c.wilds } in
+  if lowers = [] || uppers = [] then [ base ]
+  else begin
+    let pairs =
+      List.concat_map (fun l -> List.map (fun u -> (l, u)) uppers) lowers
+    in
+    let shadow dark ((b, beta), (a, alpha)) =
+      (* real: b·α − a·β ≥ 0; dark: b·α − a·β ≥ (a−1)(b−1) *)
+      let e = A.sub (A.scale b alpha) (A.scale a beta) in
+      if dark then
+        A.add_const e (Zint.neg (Zint.mul (Zint.pred a) (Zint.pred b)))
+      else e
+    in
+    let exact ((b, _), (a, _)) = Zint.is_one a || Zint.is_one b in
+    let real_clause =
+      { base with geqs = List.map (shadow false) pairs @ base.geqs }
+    in
+    let dark_clause =
+      { base with geqs = List.map (shadow true) pairs @ base.geqs }
+    in
+    if List.for_all exact pairs then [ dark_clause ]
+    else
+      match mode with
+      | Approx_real -> [ real_clause ]
+      | Approx_dark -> [ dark_clause ]
+      | Exact_overlapping ->
+          (* CACM splinters: with a_max the largest upper-bound coefficient,
+             any solution missed by the dark shadow has b·v = β + i for some
+             lower bound (b, β) and 0 ≤ i ≤ (a_max·b − a_max − b)/a_max. *)
+          let amax =
+            List.fold_left (fun acc (a, _) -> Zint.max acc a) Zint.one uppers
+          in
+          let splinters =
+            List.concat_map
+              (fun (b, beta) ->
+                let top =
+                  (* (a_max·b − a_max − b) / a_max *)
+                  Zint.fdiv
+                    (Zint.sub (Zint.mul amax b) (Zint.add amax b))
+                    amax
+                in
+                let rec go i acc =
+                  if Zint.compare i top > 0 then acc
+                  else begin
+                    let pin =
+                      A.add_const
+                        (A.sub (A.scale b (A.var v)) beta)
+                        (Zint.neg i)
+                    in
+                    let cl = { c with eqs = pin :: c.eqs } in
+                    go (Zint.succ i) (eliminate_via_eq v cl :: acc)
+                  end
+                in
+                go Zint.zero [])
+              lowers
+          in
+          dark_clause :: splinters
+      | Exact_disjoint ->
+          (* Figure 1 (right): for each pair that can miss the dark shadow,
+             pin the gap b·α − a·β to each value i below (a−1)(b−1), then
+             pin a·b·v within the resulting window; accumulate each
+             processed pair's dark condition so later groups are disjoint
+             from earlier ones, and emit the full dark shadow last. *)
+          let acc_dark = ref [] in
+          let outputs = ref [] in
+          List.iter
+            (fun (((b, beta), (a, _alpha)) as pair) ->
+              if not (exact pair) then begin
+                let gap = Zint.mul (Zint.pred a) (Zint.pred b) in
+                let gap_aff = shadow false pair in
+                (* gap_aff = b·α − a·β *)
+                let rec loop_i i =
+                  if Zint.compare i gap >= 0 then ()
+                  else begin
+                    let guard = A.add_const gap_aff (Zint.neg i) in
+                    (* a·b·v = a·β + i' for i' = 0..i *)
+                    let rec loop_i' i' =
+                      if Zint.compare i' i > 0 then ()
+                      else begin
+                        let pin =
+                          A.add_const
+                            (A.sub
+                               (A.scale (Zint.mul a b) (A.var v))
+                               (A.scale a beta))
+                            (Zint.neg i')
+                        in
+                        let cl =
+                          {
+                            c with
+                            eqs = guard :: pin :: c.eqs;
+                            geqs = !acc_dark @ c.geqs;
+                          }
+                        in
+                        outputs := eliminate_via_eq v cl :: !outputs;
+                        loop_i' (Zint.succ i')
+                      end
+                    in
+                    loop_i' Zint.zero;
+                    loop_i (Zint.succ i)
+                  end
+                in
+                loop_i Zint.zero;
+                acc_dark := shadow true pair :: !acc_dark
+              end)
+            pairs;
+          dark_clause :: List.rev !outputs
+  end
+
+(* Wildcard-occurrence classification used by the reduction loop. *)
+let wild_occurrences (c : Clause.t) =
+  let occ_in l v = List.exists (fun e -> not (Zint.is_zero (A.coeff e v))) l in
+  let in_eqs v = occ_in c.eqs v in
+  let in_strides v =
+    List.exists (fun (_, e) -> not (Zint.is_zero (A.coeff e v))) c.strides
+  in
+  let in_geqs v = occ_in c.geqs v in
+  (in_eqs, in_strides, in_geqs)
+
+let max_reduction_steps = 10_000
+
+let project mode vars (c : Clause.t) : Clause.t list =
+  let c = { c with wilds = V.Set.union c.wilds (V.Set.of_list vars) } in
+  let out = ref [] in
+  let rec reduce steps c =
+    if steps > max_reduction_steps then
+      failwith "Omega.Solve.project: reduction did not terminate";
+    match Clause.normalize c with
+    | None -> ()
+    | Some c -> begin
+        let c = Clause.solve_unit_wilds c in
+        match Clause.normalize c with
+        | None -> ()
+        | Some c -> begin
+            let in_eqs, in_strides, in_geqs = wild_occurrences c in
+            (* 1. a wildcard inside an equality: scale-and-substitute. *)
+            match
+              V.Set.fold
+                (fun w best ->
+                  if not (in_eqs w) then best
+                  else begin
+                    let k =
+                      List.fold_left
+                        (fun acc e ->
+                          let k = Zint.abs (A.coeff e w) in
+                          if Zint.is_zero k then acc
+                          else if Zint.is_zero acc then k
+                          else Zint.min acc k)
+                        Zint.zero c.eqs
+                    in
+                    match best with
+                    | Some (_, k0) when Zint.compare k0 k <= 0 -> best
+                    | _ -> Some (w, k)
+                  end)
+                c.wilds None
+            with
+            | Some (w, _) -> reduce (steps + 1) (eliminate_via_eq w c)
+            | None -> begin
+                (* 2. a wildcard inside a stride: expose it as an equality. *)
+                match V.Set.exists in_strides c.wilds with
+                | true ->
+                    let with_w, without =
+                      List.partition
+                        (fun (_, e) ->
+                          List.exists
+                            (fun v -> V.Set.mem v c.wilds)
+                            (A.vars e))
+                        c.strides
+                    in
+                    reduce (steps + 1)
+                      (Clause.strides_to_eqs
+                         { c with strides = with_w }
+                      |> fun c' -> { c' with strides = without @ c'.strides })
+                | false -> begin
+                    (* 3. a wildcard only in inequalities: shadow-eliminate. *)
+                    match V.Set.fold
+                            (fun w best ->
+                              if in_geqs w then
+                                let lowers, uppers, _ = bounds w c.geqs in
+                                let cost =
+                                  List.length lowers * List.length uppers
+                                in
+                                match best with
+                                | Some (_, c0) when c0 <= cost -> best
+                                | _ -> Some (w, cost)
+                              else best)
+                            c.wilds None
+                    with
+                    | Some (w, _) ->
+                        List.iter (reduce (steps + 1)) (eliminate mode w c)
+                    | None ->
+                        (* no constrained wildcards remain *)
+                        out := { c with wilds = V.Set.empty } :: !out
+                  end
+              end
+          end
+      end
+  in
+  reduce 0 c;
+  List.rev !out
+
+let rec feasible steps (c : Clause.t) =
+  if steps > max_reduction_steps then
+    failwith "Omega.Solve.is_feasible: did not terminate";
+  match Clause.normalize c with
+  | None -> false
+  | Some c ->
+      (* All variables are treated as existentially quantified. *)
+      let all = Clause.all_vars c in
+      if V.Set.is_empty all then true
+      else begin
+        let c = { c with wilds = all } in
+        let c = Clause.solve_unit_wilds c in
+        match Clause.normalize c with
+        | None -> false
+        | Some c ->
+            let all = Clause.all_vars c in
+            if V.Set.is_empty all then true
+            else begin
+              let c = { c with wilds = all } in
+              let in_eqs, in_strides, _ = wild_occurrences c in
+              match List.find_opt in_eqs (V.Set.elements c.wilds) with
+              | Some w -> feasible (steps + 1) (eliminate_via_eq w c)
+              | None ->
+                  if V.Set.exists in_strides c.wilds then
+                    feasible (steps + 1) (Clause.strides_to_eqs c)
+                  else begin
+                    (* inequalities only: pick the cheapest variable *)
+                    let w, _ =
+                      V.Set.fold
+                        (fun w best ->
+                          let lowers, uppers, _ = bounds w c.geqs in
+                          let cost = List.length lowers * List.length uppers in
+                          match best with
+                          | Some (_, c0) when c0 <= cost -> best
+                          | _ -> Some (w, cost))
+                        c.wilds None
+                      |> Option.get
+                    in
+                    List.exists (feasible (steps + 1))
+                      (eliminate Exact_overlapping w c)
+                  end
+            end
+      end
+
+let is_feasible c = feasible 0 c
+
+let feasible_conjoin c1 c2 =
+  is_feasible (Clause.conjoin c1 (Clause.rename_wilds c2))

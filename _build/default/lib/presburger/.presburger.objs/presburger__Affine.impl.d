@@ -1,0 +1,1 @@
+lib/presburger/affine.ml: Format List Qnum Qpoly Var Zint

@@ -1,0 +1,1 @@
+lib/presburger/affine.mli: Format Qpoly Var Zint

@@ -1,0 +1,1 @@
+lib/presburger/formula.ml: Affine Format List Var Zint

@@ -1,0 +1,1 @@
+lib/presburger/formula.mli: Affine Format Var Zint

@@ -1,0 +1,1 @@
+lib/presburger/var.ml: Format Int Map Set String

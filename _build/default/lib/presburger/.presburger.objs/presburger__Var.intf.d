@@ -1,0 +1,1 @@
+lib/presburger/var.mli: Format Map Set

@@ -1,0 +1,92 @@
+type t = { coeffs : Zint.t Var.Map.t; const : Zint.t }
+(* Invariant: no zero coefficients stored. *)
+
+let zero = { coeffs = Var.Map.empty; const = Zint.zero }
+let const c = { coeffs = Var.Map.empty; const = c }
+let of_int n = const (Zint.of_int n)
+
+let term c v =
+  if Zint.is_zero c then zero
+  else { coeffs = Var.Map.singleton v c; const = Zint.zero }
+
+let var v = term Zint.one v
+
+let add a b =
+  {
+    coeffs =
+      Var.Map.union
+        (fun _ x y ->
+          let s = Zint.add x y in
+          if Zint.is_zero s then None else Some s)
+        a.coeffs b.coeffs;
+    const = Zint.add a.const b.const;
+  }
+
+let neg a = { coeffs = Var.Map.map Zint.neg a.coeffs; const = Zint.neg a.const }
+let sub a b = add a (neg b)
+
+let scale c a =
+  if Zint.is_zero c then zero
+  else { coeffs = Var.Map.map (Zint.mul c) a.coeffs; const = Zint.mul c a.const }
+
+let add_const a c = { a with const = Zint.add a.const c }
+let coeff a v = try Var.Map.find v a.coeffs with Not_found -> Zint.zero
+let constant a = a.const
+let vars a = List.map fst (Var.Map.bindings a.coeffs)
+let fold f a init = Var.Map.fold f a.coeffs init
+let is_const a = Var.Map.is_empty a.coeffs
+
+let gcd_coeffs a =
+  Var.Map.fold (fun _ c acc -> Zint.gcd acc c) a.coeffs Zint.zero
+
+let subst a v r =
+  let c = coeff a v in
+  if Zint.is_zero c then a
+  else add { a with coeffs = Var.Map.remove v a.coeffs } (scale c r)
+
+let divexact a c =
+  {
+    coeffs = Var.Map.map (fun x -> Zint.divexact x c) a.coeffs;
+    const = Zint.divexact a.const c;
+  }
+
+let eval env a =
+  Var.Map.fold
+    (fun v c acc -> Zint.add acc (Zint.mul c (env v)))
+    a.coeffs a.const
+
+let compare a b =
+  let c = Zint.compare a.const b.const in
+  if c <> 0 then c else Var.Map.compare Zint.compare a.coeffs b.coeffs
+
+let equal a b = compare a b = 0
+
+let pp fmt a =
+  let first = ref true in
+  let emit sign body =
+    if !first then begin
+      if sign < 0 then Format.pp_print_string fmt "-";
+      first := false
+    end
+    else Format.pp_print_string fmt (if sign < 0 then " - " else " + ");
+    body ()
+  in
+  Var.Map.iter
+    (fun v c ->
+      emit (Zint.sign c) (fun () ->
+          let a = Zint.abs c in
+          if Zint.is_one a then Var.pp fmt v
+          else Format.fprintf fmt "%a%a" Zint.pp a Var.pp v))
+    a.coeffs;
+  if not (Zint.is_zero a.const) || !first then
+    emit (Zint.sign a.const) (fun () -> Zint.pp fmt (Zint.abs a.const))
+
+let to_string a = Format.asprintf "%a" pp a
+
+let to_qlin a =
+  Var.Map.fold
+    (fun v c acc ->
+      Qpoly.Lin.add acc
+        (Qpoly.Lin.scale (Qnum.of_zint c) (Qpoly.Lin.var (Var.to_string v))))
+    a.coeffs
+    (Qpoly.Lin.const (Qnum.of_zint a.const))

@@ -1,0 +1,52 @@
+(** Integer affine forms [Σ cᵢ·vᵢ + c] over {!Var} with {!Zint}
+    coefficients — the terms of Presburger constraints. *)
+
+type t
+
+val zero : t
+val const : Zint.t -> t
+val of_int : int -> t
+val var : Var.t -> t
+
+(** [term c v] is [c·v]. *)
+val term : Zint.t -> Var.t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Zint.t -> t -> t
+val add_const : t -> Zint.t -> t
+
+(** Coefficient of [v] (zero if absent). *)
+val coeff : t -> Var.t -> Zint.t
+
+val constant : t -> Zint.t
+
+(** Variables with nonzero coefficient, ascending. *)
+val vars : t -> Var.t list
+
+(** Fold over (variable, coefficient) pairs. *)
+val fold : (Var.t -> Zint.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val is_const : t -> bool
+
+(** [gcd_coeffs t] is the gcd of the variable coefficients (not the
+    constant); zero for a constant form. *)
+val gcd_coeffs : t -> Zint.t
+
+(** [subst t v r] replaces [v] by the affine form [r]. *)
+val subst : t -> Var.t -> t -> t
+
+(** [divexact t c] divides every coefficient and the constant; raises
+    [Invalid_argument] if not exact. *)
+val divexact : t -> Zint.t -> t
+
+val eval : (Var.t -> Zint.t) -> t -> Zint.t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Conversion to a rational affine form over variable {e names}
+    (see {!Qpoly.Lin}); wildcards map to their [to_string] names. *)
+val to_qlin : t -> Qpoly.Lin.t

@@ -1,0 +1,436 @@
+type atom =
+  | Geq of Affine.t
+  | Eq of Affine.t
+  | Stride of Zint.t * Affine.t
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Exists of Var.t list * t
+  | Forall of Var.t list * t
+
+let tru = True
+let fls = False
+
+(* Normalize atoms: divide by the coefficient gcd (tightening the constant
+   for inequalities — the paper's "normalization" step), fold constants. *)
+let atom a =
+  match a with
+  | Geq e ->
+      if Affine.is_const e then
+        if Zint.sign (Affine.constant e) >= 0 then True else False
+      else begin
+        let g = Affine.gcd_coeffs e in
+        if Zint.is_one g then Atom (Geq e)
+        else begin
+          (* (g·e' + c ≥ 0)  ⇔  (e' + floor(c/g) ≥ 0) *)
+          let c = Affine.constant e in
+          let e' =
+            Affine.add_const
+              (Affine.divexact (Affine.sub e (Affine.const c)) g)
+              (Zint.fdiv c g)
+          in
+          Atom (Geq e')
+        end
+      end
+  | Eq e ->
+      if Affine.is_const e then
+        if Zint.is_zero (Affine.constant e) then True else False
+      else begin
+        let g = Affine.gcd_coeffs e in
+        if Zint.is_one g then Atom (Eq e)
+        else begin
+          let c = Affine.constant e in
+          if not (Zint.divides g c) then False
+          else Atom (Eq (Affine.divexact e g))
+        end
+      end
+  | Stride (c, e) ->
+      if Zint.sign c <= 0 then
+        invalid_arg "Formula.stride: modulus must be positive";
+      if Zint.is_one c then True
+      else if Affine.is_const e then
+        if Zint.divides c (Affine.constant e) then True else False
+      else begin
+        (* c | (g·e'): reduce by gcd(c, all coefficients incl. const). *)
+        let g =
+          Zint.gcd
+            (Zint.gcd (Affine.gcd_coeffs e) (Affine.constant e))
+            c
+        in
+        let c' = Zint.divexact c g and e' = Affine.divexact e g in
+        if Zint.is_one c' then True else Atom (Stride (c', e'))
+      end
+
+let geq a b = atom (Geq (Affine.sub a b))
+let leq a b = geq b a
+let gt a b = geq (Affine.add_const a Zint.minus_one) b
+let lt a b = gt b a
+let eq a b = atom (Eq (Affine.sub a b))
+
+let and_ fs =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | True :: rest -> gather acc rest
+    | False :: _ -> None
+    | And gs :: rest -> gather acc (gs @ rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> False
+  | Some [] -> True
+  | Some [ f ] -> f
+  | Some fs -> And fs
+
+let or_ fs =
+  let rec gather acc = function
+    | [] -> Some (List.rev acc)
+    | False :: rest -> gather acc rest
+    | True :: _ -> None
+    | Or gs :: rest -> gather acc (gs @ rest)
+    | f :: rest -> gather (f :: acc) rest
+  in
+  match gather [] fs with
+  | None -> True
+  | Some [] -> False
+  | Some [ f ] -> f
+  | Some fs -> Or fs
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let neq a b =
+  let e = Affine.sub a b in
+  or_ [ atom (Geq (Affine.add_const e Zint.minus_one));
+        atom (Geq (Affine.add_const (Affine.neg e) Zint.minus_one)) ]
+
+let stride c e = atom (Stride (c, e))
+let between lo x hi = and_ [ geq x lo; leq x hi ]
+let implies a b = or_ [ not_ a; b ]
+
+let exists vs f =
+  match (vs, f) with
+  | [], f -> f
+  | _, True -> True
+  | _, False -> False
+  | vs, Exists (ws, g) -> Exists (vs @ ws, g)
+  | vs, f -> Exists (vs, f)
+
+let forall vs f =
+  match (vs, f) with
+  | [], f -> f
+  | _, True -> True
+  | _, False -> False
+  | vs, Forall (ws, g) -> Forall (vs @ ws, g)
+  | vs, f -> Forall (vs, f)
+
+(* Desugaring of Section 3.1: introduce a wildcard per nonlinear term. *)
+
+let floor_div e c k =
+  if Zint.sign c <= 0 then invalid_arg "Formula.floor_div: divisor must be positive";
+  let a = Var.fresh_wild () in
+  let av = Affine.var a in
+  let ca = Affine.scale c av in
+  exists [ a ]
+    (and_ [ geq e ca; leq e (Affine.add_const ca (Zint.pred c)); k av ])
+
+let ceil_div e c k =
+  if Zint.sign c <= 0 then invalid_arg "Formula.ceil_div: divisor must be positive";
+  let b = Var.fresh_wild () in
+  let bv = Affine.var b in
+  let cb = Affine.scale c bv in
+  exists [ b ]
+    (and_ [ leq e cb; geq e (Affine.add_const cb (Zint.succ (Zint.neg c))); k bv ])
+
+let mod_ e c k =
+  if Zint.sign c <= 0 then invalid_arg "Formula.mod_: modulus must be positive";
+  (* e mod c = e - c·floor(e/c) *)
+  floor_div e c (fun q -> k (Affine.sub e (Affine.scale c q)))
+
+let atom_vars = function
+  | Geq e | Eq e | Stride (_, e) -> Var.Set.of_list (Affine.vars e)
+
+let rec free_vars = function
+  | True | False -> Var.Set.empty
+  | Atom a -> atom_vars a
+  | And fs | Or fs ->
+      List.fold_left
+        (fun acc f -> Var.Set.union acc (free_vars f))
+        Var.Set.empty fs
+  | Not f -> free_vars f
+  | Exists (vs, f) | Forall (vs, f) ->
+      Var.Set.diff (free_vars f) (Var.Set.of_list vs)
+
+let rec map_atoms fn = function
+  | True -> True
+  | False -> False
+  | Atom a -> fn a
+  | And fs -> and_ (List.map (map_atoms fn) fs)
+  | Or fs -> or_ (List.map (map_atoms fn) fs)
+  | Not f -> not_ (map_atoms fn f)
+  | Exists (vs, f) -> exists vs (map_atoms fn f)
+  | Forall (vs, f) -> forall vs (map_atoms fn f)
+
+let rec subst f v r =
+  match f with
+  | True | False -> f
+  | Atom (Geq e) -> atom (Geq (Affine.subst e v r))
+  | Atom (Eq e) -> atom (Eq (Affine.subst e v r))
+  | Atom (Stride (c, e)) -> atom (Stride (c, Affine.subst e v r))
+  | And fs -> and_ (List.map (fun f -> subst f v r) fs)
+  | Or fs -> or_ (List.map (fun f -> subst f v r) fs)
+  | Not g -> not_ (subst g v r)
+  | Exists (vs, g) ->
+      if List.exists (Var.equal v) vs then f else exists vs (subst g v r)
+  | Forall (vs, g) ->
+      if List.exists (Var.equal v) vs then f else forall vs (subst g v r)
+
+let rec equal a b =
+  match (a, b) with
+  | True, True | False, False -> true
+  | Atom (Geq x), Atom (Geq y) | Atom (Eq x), Atom (Eq y) -> Affine.equal x y
+  | Atom (Stride (c, x)), Atom (Stride (d, y)) ->
+      Zint.equal c d && Affine.equal x y
+  | And xs, And ys | Or xs, Or ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Not x, Not y -> equal x y
+  | Exists (vs, x), Exists (ws, y) | Forall (vs, x), Forall (ws, y) ->
+      List.length vs = List.length ws
+      && List.for_all2 Var.equal vs ws
+      && equal x y
+  | _ -> false
+
+let pp_atom fmt = function
+  | Geq e -> Format.fprintf fmt "%a >= 0" Affine.pp e
+  | Eq e -> Format.fprintf fmt "%a = 0" Affine.pp e
+  | Stride (c, e) -> Format.fprintf fmt "%a | %a" Zint.pp c Affine.pp e
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "TRUE"
+  | False -> Format.pp_print_string fmt "FALSE"
+  | Atom a -> pp_atom fmt a
+  | And fs ->
+      Format.fprintf fmt "(@[%a@])"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt " &&@ ")
+           pp)
+        fs
+  | Or fs ->
+      Format.fprintf fmt "(@[%a@])"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt " ||@ ")
+           pp)
+        fs
+  | Not f -> Format.fprintf fmt "!%a" pp f
+  | Exists (vs, f) ->
+      Format.fprintf fmt "(exists %a:@ %a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+           Var.pp)
+        vs pp f
+  | Forall (vs, f) ->
+      Format.fprintf fmt "(forall %a:@ %a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+           Var.pp)
+        vs pp f
+
+let to_string f = Format.asprintf "%a" pp f
+
+(* Exact quantifier evaluation (test oracle) ------------------------------ *)
+
+let eval_atom env = function
+  | Geq e -> Zint.sign (Affine.eval env e) >= 0
+  | Eq e -> Zint.is_zero (Affine.eval env e)
+  | Stride (c, e) -> Zint.divides c (Affine.eval env e)
+
+(* All atoms of [f], ignoring polarity and binders (used only to bound the
+   search window for a variable; over-approximating is safe). *)
+let rec all_atoms acc = function
+  | True | False -> acc
+  | Atom a -> a :: acc
+  | And fs | Or fs -> List.fold_left all_atoms acc fs
+  | Not f -> all_atoms acc f
+  | Exists (_, f) | Forall (_, f) -> all_atoms acc f
+
+let holds ?(box = 256) env f =
+  let lookup benv v =
+    match Var.Map.find_opt v benv with Some x -> x | None -> env v
+  in
+  let is_bound benv v =
+    Var.Map.mem v benv
+    ||
+    match env v with _ -> true | exception _ -> false
+  in
+  let rec go benv f =
+    match f with
+    | True -> true
+    | False -> false
+    | Atom a -> eval_atom (lookup benv) a
+    | And fs -> List.for_all (go benv) fs
+    | Or fs -> List.exists (go benv) fs
+    | Not f -> not (go benv f)
+    | Forall (vs, f) -> not (go benv (Exists (vs, Not f)))
+    | Exists (vs, f) -> exist benv vs f
+  (* Decide ∃vs. f under benv.
+
+     For a single variable v whose constraining atoms mention only bound
+     variables, the decision is exact: the truth of each comparison atom,
+     as a function of v, flips at most once — at the rational breakpoint
+     -rest/a — and stride atoms are periodic in v with period
+     c / gcd(a, c). Hence f's truth in v is eventually periodic with
+     period L = lcm of the stride periods, and testing every integer in
+     [min_break - L, max_break + L] (or one period when there are no
+     breakpoints) decides ∃v exactly.
+
+     When several quantified variables constrain each other (e.g. the
+     splinter systems of Figure 1), we pick any variable decidable this
+     way first; if none is, we fall back to enumerating one variable over
+     [-box, box] — sound and complete for the small-coefficient formulas
+     the test suites build, and documented in the interface. *)
+  and exist benv vs f =
+    match vs with
+    | [] -> go benv f
+    | _ -> begin
+        let atoms_of v =
+          all_atoms [] f
+          |> List.filter (fun a ->
+                 match a with
+                 | Geq e | Eq e | Stride (_, e) ->
+                     not (Zint.is_zero (Affine.coeff e v)))
+        in
+        let decidable v =
+          List.for_all
+            (fun a ->
+              match a with
+              | Geq e | Eq e | Stride (_, e) ->
+                  List.for_all
+                    (fun w -> Var.equal w v || is_bound benv w)
+                    (Affine.vars e))
+            (atoms_of v)
+        in
+        (* Sound fallback window for a non-decidable variable: every
+           witness satisfies the top-level conjunct atoms, so clean
+           two-sided bounds among them confine the search (used for
+           mutually-coupled wildcards, e.g. 0-1 encodings). *)
+        let top_atoms =
+          let rec collect acc = function
+            | Atom a -> a :: acc
+            | And fs -> List.fold_left collect acc fs
+            | _ -> acc
+          in
+          collect [] f
+        in
+        let conjunct_window v =
+          let lo = ref None and hi = ref None in
+          let update_lo x =
+            lo := Some (match !lo with None -> x | Some l -> Zint.max l x)
+          in
+          let update_hi x =
+            hi := Some (match !hi with None -> x | Some h -> Zint.min h x)
+          in
+          List.iter
+            (fun a ->
+              let handle e =
+                let cf = Affine.coeff e v in
+                if
+                  (not (Zint.is_zero cf))
+                  && List.for_all
+                       (fun w -> Var.equal w v || is_bound benv w)
+                       (Affine.vars e)
+                then begin
+                  let rest =
+                    Affine.eval
+                      (fun x ->
+                        if Var.equal x v then Zint.zero else lookup benv x)
+                      e
+                  in
+                  (* cf·v + rest ≥ 0 *)
+                  if Zint.sign cf > 0 then
+                    update_lo (Zint.cdiv (Zint.neg rest) cf)
+                  else update_hi (Zint.fdiv rest (Zint.neg cf))
+                end
+              in
+              match a with
+              | Geq e -> handle e
+              | Eq e ->
+                  handle e;
+                  handle (Affine.neg e)
+              | Stride _ -> ())
+            top_atoms;
+          match (!lo, !hi) with
+          | Some lo, Some hi
+            when Zint.compare (Zint.sub hi lo) (Zint.of_int 100000) <= 0 ->
+              Some (lo, hi)
+          | _ -> None
+        in
+        let v, rest =
+          match List.find_opt decidable vs with
+          | Some v -> (v, List.filter (fun w -> not (Var.equal w v)) vs)
+          | None -> (
+              match
+                List.filter_map
+                  (fun v ->
+                    match conjunct_window v with
+                    | Some (lo, hi) -> Some (v, lo, hi)
+                    | None -> None)
+                  vs
+                |> List.sort (fun (_, lo1, hi1) (_, lo2, hi2) ->
+                       Zint.compare (Zint.sub hi1 lo1) (Zint.sub hi2 lo2))
+              with
+              | (v, _, _) :: _ ->
+                  (v, List.filter (fun w -> not (Var.equal w v)) vs)
+              | [] -> (List.hd vs, List.tl vs))
+        in
+        let body = if rest = [] then f else Exists (rest, f) in
+        let lo, hi =
+          if decidable v then begin
+            let breakpoints = ref [] in
+            let period = ref Zint.one in
+            List.iter
+              (fun a ->
+                match a with
+                | Geq e | Eq e ->
+                    let a_c = Affine.coeff e v in
+                    let rest =
+                      Affine.eval
+                        (fun x ->
+                          if Var.equal x v then Zint.zero else lookup benv x)
+                        e
+                    in
+                    let b = Zint.fdiv (Zint.neg rest) a_c in
+                    breakpoints := b :: Zint.succ b :: !breakpoints
+                | Stride (c, e) ->
+                    let a_c = Affine.coeff e v in
+                    let p = Zint.divexact c (Zint.gcd a_c c) in
+                    period := Zint.lcm !period p)
+              (atoms_of v);
+            match !breakpoints with
+            | [] -> (Zint.zero, Zint.pred !period)
+            | b :: rest ->
+                let mn = List.fold_left Zint.min b rest in
+                let mx = List.fold_left Zint.max b rest in
+                (Zint.sub mn !period, Zint.add mx !period)
+          end
+          else begin
+            match conjunct_window v with
+            | Some (lo, hi) -> (lo, hi)
+            | None -> (Zint.of_int (-box), Zint.of_int box)
+          end
+        in
+        let rec scan x =
+          if Zint.compare x hi > 0 then false
+          else
+            go (Var.Map.add v x benv) body || scan (Zint.succ x)
+        in
+        scan lo
+      end
+  in
+  go Var.Map.empty f

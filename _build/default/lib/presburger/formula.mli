@@ -1,0 +1,100 @@
+(** Presburger formulas.
+
+    Atoms are canonicalized comparisons ([e ≥ 0], [e = 0]) and stride
+    (divisibility) constraints [c | e] (Section 3.2 of the paper). Formulas
+    are closed under conjunction, disjunction, negation and integer
+    quantification. Smart constructors perform cheap local simplification
+    (constant folding, flattening, unit laws) but no deep reasoning — that
+    is {!Omega}'s job. *)
+
+type atom =
+  | Geq of Affine.t  (** [e ≥ 0] *)
+  | Eq of Affine.t  (** [e = 0] *)
+  | Stride of Zint.t * Affine.t  (** [c | e], with [c > 0] *)
+
+type t = private
+  | True
+  | False
+  | Atom of atom
+  | And of t list  (** at least two conjuncts *)
+  | Or of t list  (** at least two disjuncts *)
+  | Not of t
+  | Exists of Var.t list * t  (** nonempty variable list *)
+  | Forall of Var.t list * t  (** nonempty variable list *)
+
+(** {1 Constructors} *)
+
+val tru : t
+val fls : t
+val atom : atom -> t
+
+(** [geq a b] is [a ≥ b]. *)
+val geq : Affine.t -> Affine.t -> t
+
+val leq : Affine.t -> Affine.t -> t
+
+(** [gt a b] is [a ≥ b + 1] (integer variables). *)
+val gt : Affine.t -> Affine.t -> t
+
+val lt : Affine.t -> Affine.t -> t
+val eq : Affine.t -> Affine.t -> t
+val neq : Affine.t -> Affine.t -> t
+
+(** [stride c e] is [c | e]. Raises [Invalid_argument] when [c ≤ 0]. *)
+val stride : Zint.t -> Affine.t -> t
+
+(** [between lo x hi] is [lo ≤ x ∧ x ≤ hi]. *)
+val between : Affine.t -> Affine.t -> Affine.t -> t
+
+val and_ : t list -> t
+val or_ : t list -> t
+val not_ : t -> t
+val implies : t -> t -> t
+val exists : Var.t list -> t -> t
+val forall : Var.t list -> t -> t
+
+(** {1 Floor / ceiling / mod desugaring (Section 3.1)}
+
+    Each helper introduces a fresh wildcard [α] constrained to equal the
+    nonlinear term, passes the wildcard (as an affine form) to the
+    continuation, and existentially closes it:
+    [floor_div e c k = ∃α. (cα ≤ e ≤ cα + c − 1) ∧ k α]. *)
+
+val floor_div : Affine.t -> Zint.t -> (Affine.t -> t) -> t
+val ceil_div : Affine.t -> Zint.t -> (Affine.t -> t) -> t
+
+(** [e mod c]: the wildcard receives the remainder in [[0, c)]. *)
+val mod_ : Affine.t -> Zint.t -> (Affine.t -> t) -> t
+
+(** {1 Inspection} *)
+
+(** Free variables (not bound by a quantifier). *)
+val free_vars : t -> Var.Set.t
+
+(** [subst f v r] capture-avoiding substitution of the affine form [r] for
+    the {e free} occurrences of [v]. *)
+val subst : t -> Var.t -> Affine.t -> t
+
+(** Map every atom (used e.g. to rename variables). *)
+val map_atoms : (atom -> t) -> t -> t
+
+(** Syntactic equality (after smart-constructor normalization). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Semantic evaluation (test oracle)}
+
+    [holds env f] decides [f] under the integer assignment [env] for its
+    free variables. A quantified variable whose constraining atoms involve
+    only already-bound variables is decided {e exactly} by a Cooper-style
+    finite window: comparison atoms change truth value only at finitely
+    many breakpoints, and stride atoms are periodic, so testing a window
+    extending one full period beyond the extreme breakpoints suffices.
+    Mutually-constrained quantified variables (rare; e.g. the Figure 1
+    splinter systems) fall back to enumerating [[-box, box]] (default 256)
+    for one variable — complete only when witnesses fit the box, which
+    holds for the small-coefficient formulas the test suites build. Raises
+    [Not_found] if [env] is partial on free variables. *)
+val holds : ?box:int -> (Var.t -> Zint.t) -> t -> bool

@@ -1,0 +1,30 @@
+type t = Named of string | Wild of int
+
+let named s = Named s
+let counter = ref 0
+
+let fresh_wild () =
+  incr counter;
+  Wild !counter
+
+let is_wild = function Wild _ -> true | Named _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Named x, Named y -> String.compare x y
+  | Named _, Wild _ -> -1
+  | Wild _, Named _ -> 1
+  | Wild i, Wild j -> Int.compare i j
+
+let equal a b = compare a b = 0
+let to_string = function Named s -> s | Wild i -> "$" ^ string_of_int i
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,27 @@
+(** Variables of Presburger formulas.
+
+    Two kinds: named variables (program variables, symbolic constants,
+    summation variables) and {e wildcards} — auxiliary existentially
+    quantified variables introduced by desugaring (floors, mods, strides)
+    and by the Omega test's equality elimination. The paper calls these
+    "wildcards: quantified variables used only in this clause"
+    (Section 4.5.2). *)
+
+type t = Named of string | Wild of int
+
+val named : string -> t
+
+(** [fresh_wild ()] allocates a globally unique wildcard. *)
+val fresh_wild : unit -> t
+
+val is_wild : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Unique printable name: the name itself, or ["$k"] for wildcards. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/preslang/preslang.ml: Array Lexer List Presburger Printf Qnum Qpoly Zint

@@ -1,0 +1,1 @@
+lib/preslang/preslang.mli: Presburger Qpoly

@@ -1,0 +1,1 @@
+lib/preslang/lexer.ml: List Printf String Zint

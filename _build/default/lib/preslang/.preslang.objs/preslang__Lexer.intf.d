@@ -1,0 +1,1 @@
+lib/preslang/lexer.mli: Zint

@@ -1,0 +1,166 @@
+(* Hand-written lexer for the query language. Tokens carry the character
+   offset where they start, for error reporting. *)
+
+type token =
+  | INT of Zint.t
+  | IDENT of string
+  | KW_SUM
+  | KW_COUNT
+  | KW_EXISTS
+  | KW_FORALL
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_MOD
+  | KW_FLOOR
+  | KW_CEIL
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COLON
+  | COMMA
+  | LE
+  | LT
+  | GE
+  | GT
+  | EQ
+  | NE
+  | BAR (* divisibility *)
+  | BARBAR
+  | AMPAMP
+  | BANG
+  | EOF
+
+exception Error of int * string
+
+let keyword = function
+  | "sum" -> Some KW_SUM
+  | "count" -> Some KW_COUNT
+  | "exists" -> Some KW_EXISTS
+  | "forall" -> Some KW_FORALL
+  | "and" -> Some KW_AND
+  | "or" -> Some KW_OR
+  | "not" -> Some KW_NOT
+  | "mod" -> Some KW_MOD
+  | "floor" -> Some KW_FLOOR
+  | "ceil" -> Some KW_CEIL
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokenize the whole input; returns tokens paired with their offsets. *)
+let tokenize (s : string) : (token * int) list =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] and pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit s.[!j] do
+        incr j
+      done;
+      emit (INT (Zint.of_string (String.sub s !i (!j - !i)))) pos;
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      emit (match keyword word with Some k -> k | None -> IDENT word) pos;
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<=" ->
+          emit LE pos;
+          i := !i + 2
+      | ">=" ->
+          emit GE pos;
+          i := !i + 2
+      | "!=" ->
+          emit NE pos;
+          i := !i + 2
+      | "||" ->
+          emit BARBAR pos;
+          i := !i + 2
+      | "&&" ->
+          emit AMPAMP pos;
+          i := !i + 2
+      | _ -> begin
+          (match c with
+          | '+' -> emit PLUS pos
+          | '-' -> emit MINUS pos
+          | '*' -> emit STAR pos
+          | '/' -> emit SLASH pos
+          | '^' -> emit CARET pos
+          | '(' -> emit LPAREN pos
+          | ')' -> emit RPAREN pos
+          | '{' -> emit LBRACE pos
+          | '}' -> emit RBRACE pos
+          | ':' -> emit COLON pos
+          | ',' -> emit COMMA pos
+          | '<' -> emit LT pos
+          | '>' -> emit GT pos
+          | '=' -> emit EQ pos
+          | '|' -> emit BAR pos
+          | '!' -> emit BANG pos
+          | _ -> raise (Error (pos, Printf.sprintf "unexpected character %C" c)));
+          incr i
+        end
+    end
+  done;
+  emit EOF n;
+  List.rev !toks
+
+let describe = function
+  | INT z -> Printf.sprintf "integer %s" (Zint.to_string z)
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KW_SUM -> "'sum'"
+  | KW_COUNT -> "'count'"
+  | KW_EXISTS -> "'exists'"
+  | KW_FORALL -> "'forall'"
+  | KW_AND -> "'and'"
+  | KW_OR -> "'or'"
+  | KW_NOT -> "'not'"
+  | KW_MOD -> "'mod'"
+  | KW_FLOOR -> "'floor'"
+  | KW_CEIL -> "'ceil'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | CARET -> "'^'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | LE -> "'<='"
+  | LT -> "'<'"
+  | GE -> "'>='"
+  | GT -> "'>'"
+  | EQ -> "'='"
+  | NE -> "'!='"
+  | BAR -> "'|'"
+  | BARBAR -> "'||'"
+  | AMPAMP -> "'&&'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"

@@ -1,0 +1,47 @@
+(** Tokenizer for the query language (internal to {!Preslang}). *)
+
+type token =
+  | INT of Zint.t
+  | IDENT of string
+  | KW_SUM
+  | KW_COUNT
+  | KW_EXISTS
+  | KW_FORALL
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_MOD
+  | KW_FLOOR
+  | KW_CEIL
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COLON
+  | COMMA
+  | LE
+  | LT
+  | GE
+  | GT
+  | EQ
+  | NE
+  | BAR  (** divisibility *)
+  | BARBAR
+  | AMPAMP
+  | BANG
+  | EOF
+
+(** Raised with the offending character offset and a message. *)
+exception Error of int * string
+
+(** Tokenize the whole input; each token is paired with its starting
+    offset. The final element is always [(EOF, length)]. *)
+val tokenize : string -> (token * int) list
+
+(** Human-readable token description for error messages. *)
+val describe : token -> string

@@ -1,0 +1,41 @@
+(** A small textual language for Presburger formulas and summation
+    queries, with a hand-written lexer and recursive-descent parser
+    (menhir is not available in this environment; the grammar is small
+    enough that recursive descent is the standard choice).
+
+    Query syntax:
+    {v
+      count { i, j : 1 <= i <= j <= n }
+      sum   { i : 1 <= i and 3*i <= n } i^2
+    v}
+
+    Formula syntax:
+    - chained comparisons: [1 <= i < j <= n], [=], [!=]
+    - connectives: [and]/[&&], [or]/[||], [not]/[!]
+    - quantifiers: [exists (a : ...)], [forall (a : ...)]
+    - divisibility: [3 | i + 1] (stride constraints)
+    - terms: integer-linear expressions plus [floor(e / c)],
+      [ceil(e / c)], [e mod c] with constant [c] — desugared with fresh
+      wildcards per Section 3 of the paper.
+
+    Summand syntax (after the closing brace of [sum]): any polynomial in
+    the variables, with [*], [^], and [mod]/[floor]/[ceil] by constants
+    (quasi-polynomial atoms). *)
+
+(** Parse errors carry a character offset and message. *)
+exception Parse_error of int * string
+
+type query = {
+  vars : string list;  (** summation variables *)
+  formula : Presburger.Formula.t;
+  summand : Qpoly.t;  (** [1] for [count] queries *)
+}
+
+(** Parse a [count {...}] or [sum {...} expr] query. *)
+val parse_query : string -> query
+
+(** Parse a bare formula. *)
+val parse_formula : string -> Presburger.Formula.t
+
+(** Parse a quasi-polynomial expression. *)
+val parse_poly : string -> Qpoly.t

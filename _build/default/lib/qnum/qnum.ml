@@ -1,0 +1,73 @@
+(* Exact rationals, normalized: den > 0, gcd (num, den) = 1. *)
+
+type t = { num : Zint.t; den : Zint.t }
+
+let make num den =
+  if Zint.is_zero den then raise Division_by_zero;
+  if Zint.is_zero num then { num = Zint.zero; den = Zint.one }
+  else begin
+    let num, den = if Zint.sign den < 0 then (Zint.neg num, Zint.neg den) else (num, den) in
+    let g = Zint.gcd num den in
+    if Zint.is_one g then { num; den }
+    else { num = Zint.divexact num g; den = Zint.divexact den g }
+  end
+
+let of_zint n = { num = n; den = Zint.one }
+let of_int n = of_zint (Zint.of_int n)
+let of_ints a b = make (Zint.of_int a) (Zint.of_int b)
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.num
+let den t = t.den
+let is_integral t = Zint.is_one t.den
+let to_zint t = if is_integral t then Some t.num else None
+let is_zero t = Zint.is_zero t.num
+let sign t = Zint.sign t.num
+let neg t = { t with num = Zint.neg t.num }
+let abs t = { t with num = Zint.abs t.num }
+
+let add a b =
+  make
+    (Zint.add (Zint.mul a.num b.den) (Zint.mul b.num a.den))
+    (Zint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Zint.mul a.num b.num) (Zint.mul a.den b.den)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  make t.den t.num
+
+let div a b = mul a (inv b)
+let mul_zint t z = make (Zint.mul t.num z) t.den
+
+let pow t n =
+  if n < 0 then invalid_arg "Qnum.pow: negative exponent";
+  { num = Zint.pow t.num n; den = Zint.pow t.den n }
+
+let floor t = Zint.fdiv t.num t.den
+let ceil t = Zint.cdiv t.num t.den
+let compare a b = Zint.compare (Zint.mul a.num b.den) (Zint.mul b.num a.den)
+let equal a b = Zint.equal a.num b.num && Zint.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_string t =
+  if is_integral t then Zint.to_string t.num
+  else Zint.to_string t.num ^ "/" ^ Zint.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

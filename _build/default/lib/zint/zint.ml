@@ -1,0 +1,397 @@
+(* Arbitrary-precision integers, sign-magnitude over base-2^15 limbs.
+
+   Base 2^15 keeps every intermediate product comfortably inside a native
+   63-bit int (limb*limb <= 2^30), which lets the schoolbook and Knuth-D
+   algorithms below use plain [int] arithmetic with no overflow analysis
+   beyond that bound. Counting workloads involve numbers of at most a few
+   hundred bits, so the smaller base costs nothing measurable. *)
+
+let bits = 15
+let base = 1 lsl bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* Invariants: sign ∈ {-1,0,1}; sign = 0 iff mag = [||]; limbs are
+   little-endian in [0, base); the most significant limb is nonzero. *)
+
+let zero = { sign = 0; mag = [||] }
+
+(* Trim leading (most-significant) zero limbs. *)
+let trim mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let t = top (n - 1) in
+  if t < 0 then [||] else if t = n - 1 then mag else Array.sub mag 0 (t + 1)
+
+let of_mag sign mag =
+  let mag = trim mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* Work with a nonpositive accumulator so [min_int] never overflows. *)
+    let rec digits n acc =
+      if n = 0 then acc else digits (n / base) (-(n mod base) :: acc)
+    in
+    let ds = List.rev (digits (if n > 0 then -n else n) []) in
+    { sign; mag = Array.of_list ds }
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let ten = of_int 10
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let compare_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let is_one t = equal t one
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let hash t =
+  Array.fold_left (fun h limb -> (h * 65599) + limb) (t.sign + 1) t.mag
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr bits
+  done;
+  r.(l) <- !carry;
+  trim r
+
+(* Requires [a >= b] limbwise-comparable: compare_mag a b >= 0. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  trim r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let p = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- p land mask;
+        carry := p lsr bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    trim r
+  end
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { a with mag = add_mag a.mag b.mag }
+  else begin
+    let c = compare_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then of_mag a.sign (sub_mag a.mag b.mag)
+    else of_mag b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let succ t = add t one
+let pred t = sub t one
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = mul_mag a.mag b.mag }
+
+let mul_int a n = mul a (of_int n)
+let add_int a n = add a (of_int n)
+
+(* Divide a magnitude by a single limb [d] (0 < d < base); returns
+   (quotient magnitude, remainder limb). *)
+let divmod_small mag d =
+  let n = Array.length mag in
+  let q = Array.make n 0 in
+  let r = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!r lsl bits) lor mag.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (trim q, !r)
+
+(* Shift a magnitude left by [s] bits, 0 <= s < bits. Always returns
+   [n + 1] limbs: Knuth D relies on the extra high limb even when s = 0. *)
+let shl_mag mag s =
+  let n = Array.length mag in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let v = (mag.(i) lsl s) lor !carry in
+    r.(i) <- v land mask;
+    carry := v lsr bits
+  done;
+  r.(n) <- !carry;
+  r
+
+(* Shift right by [s] bits, 0 <= s < bits. *)
+let shr_mag mag s =
+  if s = 0 then trim (Array.copy mag)
+  else begin
+    let n = Array.length mag in
+    let r = Array.make n 0 in
+    let carry = ref 0 in
+    for i = n - 1 downto 0 do
+      let v = (!carry lsl bits) lor mag.(i) in
+      r.(i) <- v lsr s;
+      carry := v land ((1 lsl s) - 1)
+    done;
+    trim r
+  end
+
+(* Knuth algorithm D on magnitudes. Returns (q, r) with u = q*v + r,
+   0 <= r < v. Requires v nonzero. *)
+let divmod_mag u v =
+  let lv = Array.length v in
+  if lv = 0 then raise Division_by_zero
+  else if compare_mag u v < 0 then ([||], trim (Array.copy u))
+  else if lv = 1 then begin
+    let q, r = divmod_small u v.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    (* Normalize so the top limb of v has its high bit set. *)
+    let s =
+      let top = v.(lv - 1) in
+      let rec go s = if top lsl s >= base / 2 then s else go (s + 1) in
+      go 0
+    in
+    let un = shl_mag u s in
+    (* Ensure un has length lu+1 (shl_mag already appends a limb). *)
+    let vn = trim (shl_mag v s) in
+    let n = Array.length vn in
+    let m = Array.length un - 1 - n in
+    let q = Array.make (Stdlib.max (m + 1) 1) 0 in
+    for j = m downto 0 do
+      let top2 = (un.(j + n) lsl bits) lor un.(j + n - 1) in
+      let qhat = ref (top2 / vn.(n - 1)) in
+      let rhat = ref (top2 mod vn.(n - 1)) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := top2 - (!qhat * vn.(n - 1))
+      end;
+      let continue = ref true in
+      while
+        !continue
+        && !qhat * vn.(n - 2) > (!rhat lsl bits) lor un.(j + n - 2)
+      do
+        decr qhat;
+        rhat := !rhat + vn.(n - 1);
+        if !rhat >= base then continue := false
+      done;
+      (* Multiply-subtract. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * vn.(i)) + !carry in
+        carry := p lsr bits;
+        let d = un.(i + j) - (p land mask) - !borrow in
+        if d < 0 then begin
+          un.(i + j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          un.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = un.(n + j) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add v back. *)
+        un.(n + j) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let sum = un.(i + j) + vn.(i) + !carry in
+          un.(i + j) <- sum land mask;
+          carry := sum lsr bits
+        done;
+        un.(n + j) <- (un.(n + j) + !carry) land mask
+      end
+      else un.(n + j) <- d;
+      q.(j) <- !qhat
+    done;
+    (trim q, shr_mag (trim (Array.sub un 0 n)) s)
+  end
+
+let tdiv_rem a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = divmod_mag a.mag b.mag in
+  let q = of_mag (a.sign * b.sign) qm in
+  let r = of_mag a.sign rm in
+  (q, r)
+
+let tdiv a b = fst (tdiv_rem a b)
+let trem a b = snd (tdiv_rem a b)
+
+let fdiv_rem a b =
+  let q, r = tdiv_rem a b in
+  if r.sign <> 0 && r.sign <> b.sign then (pred q, add r b) else (q, r)
+
+let fdiv a b = fst (fdiv_rem a b)
+let fmod a b = snd (fdiv_rem a b)
+
+let cdiv a b =
+  let q, r = tdiv_rem a b in
+  if r.sign <> 0 && r.sign = b.sign then succ q else q
+
+let divides c e =
+  if c.sign = 0 then e.sign = 0 else is_zero (trem e c)
+
+let divexact a b =
+  let q, r = tdiv_rem a b in
+  if not (is_zero r) then
+    invalid_arg "Zint.divexact: division is not exact";
+  q
+
+let rec gcd_aux a b = if is_zero b then a else gcd_aux b (trem a b)
+let gcd a b = gcd_aux (abs a) (abs b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero else abs (mul (tdiv a (gcd a b)) b)
+
+let gcd_ext a b =
+  (* Extended Euclid on (a, b); returns (g, x, y), g = a*x + b*y, g >= 0. *)
+  let rec go old_r r old_x x old_y y =
+    if is_zero r then (old_r, old_x, old_y)
+    else begin
+      let q = tdiv old_r r in
+      go r (sub old_r (mul q r)) x (sub old_x (mul q x)) y (sub old_y (mul q y))
+    end
+  in
+  let g, x, y = go a b one zero zero one in
+  if g.sign < 0 then (neg g, neg x, neg y) else (g, x, y)
+
+let pow t n =
+  if n < 0 then invalid_arg "Zint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (n lsr 1)
+    end
+  in
+  go one t n
+
+let max_int_z = lazy (of_int Stdlib.max_int)
+let min_int_z = lazy (of_int Stdlib.min_int)
+
+let to_int t =
+  if
+    compare t (Lazy.force max_int_z) > 0
+    || compare t (Lazy.force min_int_z) < 0
+  then None
+  else begin
+    (* Accumulate -|t|: prefixes of |t| are bounded by |t| <= -min_int,
+       so no intermediate overflows. *)
+    let acc = ref 0 in
+    for i = Array.length t.mag - 1 downto 0 do
+      acc := (!acc * base) - t.mag.(i)
+    done;
+    Some (if t.sign >= 0 then - !acc else !acc)
+  end
+
+let to_int_exn t =
+  match to_int t with
+  | Some n -> n
+  | None -> failwith "Zint.to_int_exn: out of int range"
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks mag acc =
+      if Array.length mag = 0 then acc
+      else begin
+        let q, r = divmod_small mag 10000 in
+        chunks q (r :: acc)
+      end
+    in
+    (match chunks t.mag [] with
+    | [] -> assert false
+    | first :: rest ->
+        if t.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Zint.of_string: empty string";
+  let negative, start =
+    match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+  in
+  if start >= len then invalid_arg "Zint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then
+      invalid_arg (Printf.sprintf "Zint.of_string: bad character %C" c);
+    acc := add_int (mul_int !acc 10) (Char.code c - Char.code '0')
+  done;
+  if negative then neg !acc else !acc
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = tdiv
+  let ( mod ) = trem
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

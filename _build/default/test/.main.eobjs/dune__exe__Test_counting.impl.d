@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Counting List Omega Presburger Printf QCheck QCheck_alcotest Qnum Qpoly String Zint

@@ -1,0 +1,1 @@
+test/test_crosscut.ml: Counting List Loopapps Omega Presburger Preslang QCheck QCheck_alcotest Qnum Qpoly String Zint

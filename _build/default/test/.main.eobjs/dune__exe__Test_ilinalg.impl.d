@@ -1,0 +1,1 @@
+test/test_ilinalg.ml: Alcotest Array Bool Format Gen Ilinalg List QCheck QCheck_alcotest Stdlib Zint

@@ -1,0 +1,1 @@
+test/test_loopapps.ml: Alcotest Counting List Loopapps Presburger Printf Qpoly Zint

@@ -1,0 +1,1 @@
+test/test_omega_dnf.ml: Alcotest Bool List Omega Presburger Printf QCheck QCheck_alcotest String Zint

@@ -1,0 +1,1 @@
+test/test_omega_solve.ml: Alcotest Bool List Omega Presburger Printf QCheck QCheck_alcotest Zint

@@ -1,0 +1,1 @@
+test/test_paper_section3.ml: Alcotest Counting List Omega Presburger Preslang Printf Zint

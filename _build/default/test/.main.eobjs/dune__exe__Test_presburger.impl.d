@@ -1,0 +1,1 @@
+test/test_presburger.ml: Alcotest Bool List Presburger Printf QCheck QCheck_alcotest Zint

@@ -1,0 +1,1 @@
+test/test_preslang.ml: Alcotest Counting List Presburger Preslang Printf Qpoly Zint

@@ -1,0 +1,1 @@
+test/test_qnum.ml: Alcotest Bool QCheck QCheck_alcotest Qnum Zint

@@ -1,0 +1,1 @@
+test/test_qpoly.ml: Alcotest Array List Printf QCheck QCheck_alcotest Qnum Qpoly Zint

@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Counting List Loopapps Presburger Printf QCheck QCheck_alcotest Qnum Zint

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Counting List Omega Presburger Printf Qnum Qpoly Zint

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "omegacount"
+    [
+      Test_zint.suite;
+      Test_qnum.suite;
+      Test_ilinalg.suite;
+      Test_qpoly.suite;
+      Test_presburger.suite;
+      Test_omega_solve.suite;
+      Test_omega_dnf.suite;
+      Test_counting.suite;
+      Test_preslang.suite;
+      Test_loopapps.suite;
+      Test_value.suite;
+      Test_simulate.suite;
+      Test_paper_section3.suite;
+      Test_crosscut.suite;
+    ]

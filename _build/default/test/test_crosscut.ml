@@ -1,0 +1,112 @@
+(* Cross-cutting properties tying the layers together: FST91 vs disjoint
+   DNF equality on random clause sets, schedule partitioning, parser →
+   engine → evaluator round trips. *)
+
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+module C = Omega.Clause
+module E = Counting.Engine
+
+let z = Zint.of_int
+let v s = A.var (V.named s)
+let k n = A.of_int n
+
+let env_of l name =
+  match List.assoc_opt name l with
+  | Some x -> z x
+  | None -> raise Not_found
+
+(* Random interval-with-stride clauses over one variable. *)
+let clause_gen =
+  let open QCheck.Gen in
+  let* lo = int_range (-10) 10 in
+  let* len = int_range 0 8 in
+  let* has_stride = bool in
+  let* m = int_range 2 4 in
+  let* r = int_range 0 3 in
+  let geqs = [ A.add_const (v "i") (z (-lo)); A.sub (k (lo + len)) (v "i") ] in
+  let strides =
+    if has_stride then [ (z m, A.add_const (v "i") (z r)) ] else []
+  in
+  return (C.make ~geqs ~strides ())
+
+let clauses_gen =
+  QCheck.make
+    ~print:(fun cls -> String.concat " | " (List.map C.to_string cls))
+    QCheck.Gen.(list_size (int_range 1 4) clause_gen)
+
+let count_union cls =
+  (* reference: brute-force count of the union over [-25, 25] *)
+  let n = ref 0 in
+  for x = -25 to 25 do
+    if List.exists (fun c -> C.holds (fun _ -> z x) c) cls then incr n
+  done;
+  !n
+
+let prop_fst91_equals_disjoint =
+  QCheck.Test.make ~name:"FST91 = disjoint DNF = brute force" ~count:60
+    clauses_gen (fun cls ->
+      let brute = count_union cls in
+      let fst91, _ = Counting.Baselines.fst91_sum ~vars:[ "i" ] cls Qpoly.one in
+      let disj =
+        E.sum_clauses ~vars:[ "i" ] (Omega.Disjoint.to_disjoint cls) Qpoly.one
+      in
+      let evalv value =
+        Zint.to_int_exn
+          (Counting.Value.eval_zint (fun _ -> raise Not_found) value)
+      in
+      evalv fst91 = brute && evalv disj = brute)
+
+let prop_schedule_partitions =
+  QCheck.Test.make ~name:"balanced chunks partition and bound imbalance"
+    ~count:40
+    (QCheck.pair (QCheck.int_range 4 60) (QCheck.int_range 1 6))
+    (fun (n, procs) ->
+      QCheck.assume (procs <= n);
+      let work =
+        Qpoly.add (Qpoly.sub (Qpoly.of_int n) (Qpoly.var "i")) Qpoly.one
+      in
+      let chunks =
+        Loopapps.Schedule.balanced_chunks ~var:"i" ~lo:1 ~hi:n ~procs work
+      in
+      List.length chunks = procs
+      && (let rec contiguous expected = function
+            | [] -> false
+            | [ (a, b) ] -> a = expected && b = n
+            | (a, b) :: rest -> a = expected && b >= a - 1 && contiguous (b + 1) rest
+          in
+          contiguous 1 chunks))
+
+let prop_parse_count_eval =
+  (* triangle counts through the whole stack, random bounds *)
+  QCheck.Test.make ~name:"parser -> engine -> eval round trip" ~count:30
+    (QCheck.int_range 0 25) (fun n ->
+      let q =
+        Preslang.parse_query "count { i, j : 1 <= i <= j <= n }"
+      in
+      let value = E.count ~vars:q.Preslang.vars q.Preslang.formula in
+      Zint.to_int_exn (Counting.Value.eval_zint (env_of [ ("n", n) ]) value)
+      = n * (n + 1) / 2)
+
+let prop_merge_idempotent =
+  QCheck.Test.make ~name:"merge_residues is idempotent" ~count:30 clauses_gen
+    (fun cls ->
+      let f = F.or_ (List.map C.to_formula cls) in
+      let bounded = F.and_ [ F.between (k (-25)) (v "i") (k 25); f ] in
+      let value = E.count ~vars:[ "i" ] bounded in
+      let m1 = Counting.Merge.merge_residues value in
+      let m2 = Counting.Merge.merge_residues m1 in
+      let evalv value =
+        Counting.Value.eval (fun _ -> raise Not_found) value
+      in
+      Qnum.equal (evalv m1) (evalv m2))
+
+let suite =
+  ( "crosscut",
+    [
+      QCheck_alcotest.to_alcotest prop_fst91_equals_disjoint;
+      QCheck_alcotest.to_alcotest prop_schedule_partitions;
+      QCheck_alcotest.to_alcotest prop_parse_count_eval;
+      QCheck_alcotest.to_alcotest prop_merge_idempotent;
+    ] )

@@ -1,0 +1,243 @@
+(* Tests for integer linear algebra: Smith/Hermite normal forms, solving. *)
+
+module Mat = Ilinalg.Mat
+
+let mat = Mat.of_int_arrays
+let z = Zint.of_int
+
+let check_mat msg expected actual =
+  Alcotest.(check bool)
+    (msg ^ Format.asprintf " (expected@ %a@ got@ %a)" Mat.pp expected Mat.pp
+       actual)
+    true (Mat.equal expected actual)
+
+let is_diagonal m =
+  let ok = ref true in
+  for i = 0 to Mat.rows m - 1 do
+    for j = 0 to Mat.cols m - 1 do
+      if i <> j && not (Zint.is_zero (Mat.get m i j)) then ok := false
+    done
+  done;
+  !ok
+
+let diagonal_chain m =
+  (* nonneg diagonal, nonzero prefix, chain d_i | d_{i+1} *)
+  let n = min (Mat.rows m) (Mat.cols m) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Zint.sign (Mat.get m i i) < 0 then ok := false
+  done;
+  for i = 0 to n - 2 do
+    let a = Mat.get m i i and b = Mat.get m (i + 1) (i + 1) in
+    if Zint.is_zero a && not (Zint.is_zero b) then ok := false;
+    if (not (Zint.is_zero a)) && not (Zint.divides a b) then ok := false
+  done;
+  !ok
+
+let unimodular m = Zint.equal (Zint.abs (Mat.det m)) Zint.one
+
+let check_smith msg a =
+  let u, d, v = Ilinalg.smith a in
+  check_mat (msg ^ ": u*a*v = d") d (Mat.mul (Mat.mul u a) v);
+  Alcotest.(check bool) (msg ^ ": d diagonal") true (is_diagonal d);
+  Alcotest.(check bool) (msg ^ ": diagonal chain") true (diagonal_chain d);
+  Alcotest.(check bool) (msg ^ ": u unimodular") true (unimodular u);
+  Alcotest.(check bool) (msg ^ ": v unimodular") true (unimodular v)
+
+let test_mat_basics () =
+  let a = mat [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let b = mat [| [| 0; 1 |]; [| 1; 0 |] |] in
+  check_mat "mul swap cols" (mat [| [| 2; 1 |]; [| 4; 3 |] |]) (Mat.mul a b);
+  check_mat "transpose" (mat [| [| 1; 3 |]; [| 2; 4 |] |]) (Mat.transpose a);
+  check_mat "identity mul" a (Mat.mul a (Mat.identity 2));
+  let v = Mat.apply a [| z 1; z 1 |] in
+  Alcotest.(check int) "apply" 3 (Zint.to_int_exn v.(0));
+  Alcotest.(check int) "apply2" 7 (Zint.to_int_exn v.(1));
+  let a' = Mat.set a 0 0 (z 9) in
+  Alcotest.(check int) "set copy" 1 (Zint.to_int_exn (Mat.get a 0 0));
+  Alcotest.(check int) "set new" 9 (Zint.to_int_exn (Mat.get a' 0 0))
+
+let test_det () =
+  let d m = Zint.to_int_exn (Mat.det (mat m)) in
+  Alcotest.(check int) "2x2" (-2) (d [| [| 1; 2 |]; [| 3; 4 |] |]);
+  Alcotest.(check int) "singular" 0 (d [| [| 1; 2 |]; [| 2; 4 |] |]);
+  Alcotest.(check int) "3x3" 1
+    (d [| [| 2; 3; 1 |]; [| 1; 2; 1 |]; [| 1; 1; 1 |] |]);
+  Alcotest.(check int) "needs pivot swap" (-1)
+    (d [| [| 0; 1 |]; [| 1; 0 |] |]);
+  Alcotest.(check int) "zero col" 0
+    (d [| [| 0; 1; 2 |]; [| 0; 3; 4 |]; [| 0; 5; 6 |] |]);
+  Alcotest.(check int) "empty" 1 (Zint.to_int_exn (Mat.det (Mat.make 0 0)))
+
+let test_smith_known () =
+  (* Classic example: SNF of [[2,4,4],[-6,6,12],[10,-4,-16]] is
+     diag(2,6,12). *)
+  let a = mat [| [| 2; 4; 4 |]; [| -6; 6; 12 |]; [| 10; -4; -16 |] |] in
+  let _, d, _ = Ilinalg.smith a in
+  Alcotest.(check (list int)) "diag(2,6,12)" [ 2; 6; 12 ]
+    (List.init 3 (fun i -> Zint.to_int_exn (Mat.get d i i)));
+  check_smith "classic" a
+
+let test_smith_shapes () =
+  check_smith "identity" (Mat.identity 3);
+  check_smith "zero" (Mat.make 2 3);
+  check_smith "wide" (mat [| [| 6; 9 |] |]);
+  check_smith "tall" (mat [| [| 6 |]; [| 9 |] |]);
+  check_smith "block-cyclic map" (mat [| [| 4; 32 |] |]);
+  (* stride example from the paper: x = 6i + 9j - 7 *)
+  check_smith "6i+9j" (mat [| [| 6; 9 |] |]);
+  let _, d, _ = Ilinalg.smith (mat [| [| 6; 9 |] |]) in
+  Alcotest.(check int) "gcd pivot 3" 3 (Zint.to_int_exn (Mat.get d 0 0))
+
+let test_hermite () =
+  let a = mat [| [| 2; 3; 6; 2 |]; [| 5; 6; 1; 6 |]; [| 8; 3; 1; 1 |] |] in
+  let u, h = Ilinalg.hermite a in
+  check_mat "u*a = h" h (Mat.mul u a);
+  Alcotest.(check bool) "u unimodular" true (unimodular u);
+  (* echelon with positive pivots, entries above reduced *)
+  let pivot_col i =
+    let rec go j =
+      if j >= Mat.cols h then None
+      else if not (Zint.is_zero (Mat.get h i j)) then Some j
+      else go (j + 1)
+    in
+    go 0
+  in
+  let prev = ref (-1) in
+  for i = 0 to Mat.rows h - 1 do
+    match pivot_col i with
+    | None -> ()
+    | Some j ->
+        Alcotest.(check bool) "echelon" true (j > !prev);
+        prev := j;
+        let p = Mat.get h i j in
+        Alcotest.(check bool) "positive pivot" true (Zint.sign p > 0);
+        for i' = 0 to i - 1 do
+          let e = Mat.get h i' j in
+          Alcotest.(check bool) "reduced above" true
+            (Zint.sign e >= 0 && Zint.compare e p < 0)
+        done
+  done
+
+let test_rank () =
+  Alcotest.(check int) "full" 2 (Ilinalg.rank (mat [| [| 1; 2 |]; [| 3; 4 |] |]));
+  Alcotest.(check int) "deficient" 1
+    (Ilinalg.rank (mat [| [| 1; 2 |]; [| 2; 4 |] |]));
+  Alcotest.(check int) "zero" 0 (Ilinalg.rank (Mat.make 3 3));
+  Alcotest.(check int) "wide" 1 (Ilinalg.rank (mat [| [| 6; 9; 3 |] |]))
+
+let test_solve () =
+  (* 6x + 9y = 21 has integer solutions (gcd 3 | 21). *)
+  let a = mat [| [| 6; 9 |] |] in
+  (match Ilinalg.solve a [| z 21 |] with
+  | None -> Alcotest.fail "6x+9y=21 should be solvable"
+  | Some (x0, k) ->
+      let check v =
+        Alcotest.(check int) "solution satisfies" 21
+          (Zint.to_int_exn
+             (Zint.add (Zint.mul (z 6) v.(0)) (Zint.mul (z 9) v.(1))))
+      in
+      check x0;
+      Alcotest.(check int) "kernel dim 1" 1 (Array.length k);
+      (* kernel vector satisfies homogeneous equation *)
+      Alcotest.(check int) "kernel in nullspace" 0
+        (Zint.to_int_exn
+           (Zint.add (Zint.mul (z 6) k.(0).(0)) (Zint.mul (z 9) k.(0).(1))));
+      check (Array.map2 Zint.add x0 k.(0)));
+  (* 6x + 9y = 22 has none (3 does not divide 22). *)
+  (match Ilinalg.solve a [| z 22 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "6x+9y=22 should be unsolvable");
+  (* Overdetermined but consistent. *)
+  let b = mat [| [| 1; 0 |]; [| 0; 1 |]; [| 1; 1 |] |] in
+  (match Ilinalg.solve b [| z 3; z 4; z 7 |] with
+  | None -> Alcotest.fail "consistent overdetermined"
+  | Some (x0, k) ->
+      Alcotest.(check int) "x" 3 (Zint.to_int_exn x0.(0));
+      Alcotest.(check int) "y" 4 (Zint.to_int_exn x0.(1));
+      Alcotest.(check int) "no kernel" 0 (Array.length k));
+  (match Ilinalg.solve b [| z 3; z 4; z 8 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "inconsistent overdetermined")
+
+let test_kernel () =
+  let k = Ilinalg.kernel (mat [| [| 1; 1; 1 |] |]) in
+  Alcotest.(check int) "dim 2" 2 (Array.length k);
+  Array.iter
+    (fun v ->
+      Alcotest.(check int) "in nullspace" 0
+        (Zint.to_int_exn (Array.fold_left Zint.add Zint.zero v)))
+    k
+
+(* Property tests --------------------------------------------------------- *)
+
+let mat_gen =
+  let entry = QCheck.int_range (-9) 9 in
+  QCheck.map
+    (fun (r, c, seedrows) ->
+      let rows = 1 + (r mod 4) and cols = 1 + (c mod 4) in
+      Mat.of_int_arrays
+        (Array.init rows (fun i ->
+             Array.init cols (fun j -> List.nth seedrows ((i * 7 + j * 3 + i * j) mod 16))))
+    )
+    QCheck.(triple small_nat small_nat (list_of_size (Gen.return 16) entry))
+
+let prop_smith =
+  QCheck.Test.make ~name:"smith: u*a*v = d, diagonal chain, unimodular"
+    ~count:200 mat_gen (fun a ->
+      let u, d, v = Ilinalg.smith a in
+      Mat.equal d (Mat.mul (Mat.mul u a) v)
+      && is_diagonal d && diagonal_chain d && unimodular u && unimodular v)
+
+let prop_hermite =
+  QCheck.Test.make ~name:"hermite: u*a = h, u unimodular" ~count:200 mat_gen
+    (fun a ->
+      let u, h = Ilinalg.hermite a in
+      Mat.equal h (Mat.mul u a) && unimodular u)
+
+let prop_solve =
+  QCheck.Test.make ~name:"solve: solutions satisfy, kernel annihilates"
+    ~count:200
+    (QCheck.pair mat_gen (QCheck.list_of_size (QCheck.Gen.return 4) (QCheck.int_range (-20) 20)))
+    (fun (a, bs) ->
+      let m = Mat.rows a in
+      let b = Array.init m (fun i -> z (List.nth bs (i mod 4))) in
+      match Ilinalg.solve a b with
+      | None -> true (* cross-checked by prop_solve_complete below *)
+      | Some (x0, k) ->
+          let ax0 = Mat.apply a x0 in
+          Array.for_all2 Zint.equal ax0 b
+          && Array.for_all
+               (fun kv ->
+                 Array.for_all Zint.is_zero (Mat.apply a kv))
+               k)
+
+(* Completeness on 1x2 systems: compare against the gcd criterion. *)
+let prop_solve_complete =
+  QCheck.Test.make ~name:"solve complete on ax+by=c" ~count:500
+    (QCheck.triple (QCheck.int_range (-30) 30) (QCheck.int_range (-30) 30)
+       (QCheck.int_range (-100) 100))
+    (fun (a, b, c) ->
+      let solvable =
+        if a = 0 && b = 0 then c = 0
+        else c mod Stdlib.abs (Zint.to_int_exn (Zint.gcd (z a) (z b))) = 0
+      in
+      let result = Ilinalg.solve (mat [| [| a; b |] |]) [| z c |] in
+      Bool.equal solvable (result <> None))
+
+let suite =
+  ( "ilinalg",
+    [
+      Alcotest.test_case "matrix basics" `Quick test_mat_basics;
+      Alcotest.test_case "determinant" `Quick test_det;
+      Alcotest.test_case "smith known example" `Quick test_smith_known;
+      Alcotest.test_case "smith shapes" `Quick test_smith_shapes;
+      Alcotest.test_case "hermite" `Quick test_hermite;
+      Alcotest.test_case "rank" `Quick test_rank;
+      Alcotest.test_case "solve diophantine" `Quick test_solve;
+      Alcotest.test_case "kernel" `Quick test_kernel;
+      QCheck_alcotest.to_alcotest prop_smith;
+      QCheck_alcotest.to_alcotest prop_hermite;
+      QCheck_alcotest.to_alcotest prop_solve;
+      QCheck_alcotest.to_alcotest prop_solve_complete;
+    ] )

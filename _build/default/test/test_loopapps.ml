@@ -1,0 +1,333 @@
+(* Tests for the applications layer: loop nests, stencil summarization,
+   cache lines, HPF distributions, balanced chunk scheduling. *)
+
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+module L = Loopapps.Loopnest
+
+let z = Zint.of_int
+let v s = A.var (V.named s)
+let k n = A.of_int n
+
+let env_of l name =
+  match List.assoc_opt name l with
+  | Some x -> z x
+  | None -> raise Not_found
+
+let eval_at value l =
+  Zint.to_int_exn (Counting.Value.eval_zint (env_of l) value)
+
+(* The SOR nest of Example 5 / Figure 2. *)
+let sor =
+  {
+    L.loops =
+      [
+        L.loop "i" (k 2) (A.add_const (v "N") Zint.minus_one);
+        L.loop "j" (k 2) (A.add_const (v "N") Zint.minus_one);
+      ];
+    guards = [];
+    flops_per_iteration = 6;
+    accesses =
+      [
+        { L.array = "a"; subscripts = [ v "i"; v "j" ] };
+        { L.array = "a"; subscripts = [ A.add_const (v "i") Zint.minus_one; v "j" ] };
+        { L.array = "a"; subscripts = [ A.add_const (v "i") Zint.one; v "j" ] };
+        { L.array = "a"; subscripts = [ v "i"; A.add_const (v "j") Zint.minus_one ] };
+        { L.array = "a"; subscripts = [ v "i"; A.add_const (v "j") Zint.one ] };
+      ];
+  }
+
+let test_iteration_count () =
+  let c = L.iteration_count sor in
+  List.iter
+    (fun n ->
+      let expect = if n >= 3 then (n - 2) * (n - 2) else 0 in
+      Alcotest.(check int) (Printf.sprintf "N=%d" n) expect
+        (eval_at c [ ("N", n) ]))
+    [ 2; 3; 5; 500 ];
+  let fl = L.flop_count sor in
+  Alcotest.(check int) "flops" (6 * 498 * 498) (eval_at fl [ ("N", 500) ])
+
+let test_sor_memory () =
+  (* Example 5: N² − 4 distinct locations for N ≥ 3; 249996 at N = 500. *)
+  let mem = L.touched_count sor ~array:"a" in
+  List.iter
+    (fun n ->
+      let expect = if n >= 3 then (n * n) - 4 else 0 in
+      Alcotest.(check int) (Printf.sprintf "N=%d" n) expect
+        (eval_at mem [ ("N", n) ]))
+    [ 2; 3; 4; 10; 500 ]
+
+let test_sor_cache_lines () =
+  (* Example 5 cache lines with 16-element lines:
+     N·(1 + (N−2)÷16) + [N mod 16 = 1 ∧ N ≥ 17]·(N−2); 16000 at N=500. *)
+  let cl = L.cache_line_count sor ~array:"a" ~words:16 ~base:1 in
+  let paper n =
+    if n < 3 then 0
+    else begin
+      let base = n * (1 + ((n - 2) / 16)) in
+      if n mod 16 = 1 && n >= 17 then base + (n - 2) else base
+    end
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (Printf.sprintf "N=%d" n) (paper n)
+        (eval_at cl [ ("N", n) ]))
+    [ 3; 16; 17; 18; 33; 100; 500 ]
+
+let test_flops_vs_memory_balance () =
+  (* Section 1.1: computation/memory balance = flops per distinct word. *)
+  let fl = eval_at (L.flop_count sor) [ ("N", 500) ] in
+  let mem = eval_at (L.touched_count sor ~array:"a") [ ("N", 500) ] in
+  Alcotest.(check bool) "balance ≈ 6" true
+    (abs ((fl / mem) - 5) <= 1)
+
+let test_guarded_nest () =
+  (* triangular nest with a guard: i+j even *)
+  let nest =
+    {
+      L.loops = [ L.loop "i" (k 1) (v "n"); L.loop "j" (k 1) (v "i") ];
+      guards = [ F.stride (z 2) (A.add (v "i") (v "j")) ];
+      flops_per_iteration = 1;
+      accesses = [];
+    }
+  in
+  let c = L.iteration_count nest in
+  List.iter
+    (fun n ->
+      let brute = ref 0 in
+      for i = 1 to n do
+        for j = 1 to i do
+          if (i + j) mod 2 = 0 then incr brute
+        done
+      done;
+      Alcotest.(check int) (Printf.sprintf "n=%d" n) !brute
+        (eval_at c [ ("n", n) ]))
+    [ 0; 1; 2; 5; 8; 13 ]
+
+let test_stencil_summaries () =
+  let five = [ [| 0; 0 |]; [| -1; 0 |]; [| 1; 0 |]; [| 0; -1 |]; [| 0; 1 |] ] in
+  (match Loopapps.Stencil.hull_summary five with
+  | Some f ->
+      (* check exactly the 5 points satisfy it *)
+      let holds d0 d1 =
+        F.holds
+          (fun u -> env_of [ ("d0", d0); ("d1", d1) ] (V.to_string u))
+          f
+      in
+      for d0 = -2 to 2 do
+        for d1 = -2 to 2 do
+          let expect = List.mem [| d0; d1 |] five in
+          Alcotest.(check bool)
+            (Printf.sprintf "(%d,%d)" d0 d1)
+            expect (holds d0 d1)
+        done
+      done
+  | None -> Alcotest.fail "5-point stencil should be hull-exact");
+  (* 4-point: corners of a unit square *)
+  let four = [ [| 0; 0 |]; [| 1; 0 |]; [| 0; 1 |]; [| 1; 1 |] ] in
+  Alcotest.(check bool) "4-point exact" true
+    (Loopapps.Stencil.hull_summary four <> None);
+  (* hollow plus (center removed): the difference lattice (x+y even,
+     shifted) excludes the center, so hull+lattice is exact here *)
+  let hollow = [ [| -1; 0 |]; [| 1; 0 |]; [| 0; -1 |]; [| 0; 1 |] ] in
+  (match Loopapps.Stencil.hull_summary hollow with
+  | Some f ->
+      for d0 = -2 to 2 do
+        for d1 = -2 to 2 do
+          Alcotest.(check bool)
+            (Printf.sprintf "hollow (%d,%d)" d0 d1)
+            (List.mem [| d0; d1 |] hollow)
+            (F.holds
+               (fun u -> env_of [ ("d0", d0); ("d1", d1) ] (V.to_string u))
+               f)
+        done
+      done
+  | None -> Alcotest.fail "hollow plus is hull+lattice exact");
+  (* genuinely inexact sets: unit lattice with gaps in the hull *)
+  Alcotest.(check bool) "1-D inexact" true
+    (Loopapps.Stencil.hull_summary [ [| 0 |]; [| 1 |]; [| 5 |] ] = None);
+  Alcotest.(check bool) "2-D inexact" true
+    (Loopapps.Stencil.hull_summary
+       [ [| 0; 0 |]; [| 1; 0 |]; [| 0; 1 |]; [| 5; 5 |] ]
+    = None);
+  (* 0-1 fallback is exact on such sets *)
+  let f01 = Loopapps.Stencil.zero_one_summary hollow in
+  for d0 = -2 to 2 do
+    for d1 = -2 to 2 do
+      let expect = List.mem [| d0; d1 |] hollow in
+      Alcotest.(check bool)
+        (Printf.sprintf "01 (%d,%d)" d0 d1)
+        expect
+        (F.holds
+           (fun u -> env_of [ ("d0", d0); ("d1", d1) ] (V.to_string u))
+           f01)
+    done
+  done;
+  (* strided 1-D: {0, 3, 6} — needs the lattice part *)
+  let strided = [ [| 0 |]; [| 3 |]; [| 6 |] ] in
+  (match Loopapps.Stencil.hull_summary strided with
+  | Some f ->
+      for d0 = -1 to 7 do
+        Alcotest.(check bool)
+          (Printf.sprintf "strided %d" d0)
+          (List.mem [| d0 |] strided)
+          (F.holds (fun u -> env_of [ ("d0", d0) ] (V.to_string u)) f)
+      done
+  | None -> Alcotest.fail "strided 1-D should be exact");
+  (* collinear 2-D segment {(0,0),(1,2),(2,4)} *)
+  let seg = [ [| 0; 0 |]; [| 1; 2 |]; [| 2; 4 |] ] in
+  (match Loopapps.Stencil.hull_summary seg with
+  | Some f ->
+      for d0 = -1 to 3 do
+        for d1 = -1 to 5 do
+          Alcotest.(check bool)
+            (Printf.sprintf "seg (%d,%d)" d0 d1)
+            (List.mem [| d0; d1 |] seg)
+            (F.holds
+               (fun u -> env_of [ ("d0", d0); ("d1", d1) ] (V.to_string u))
+               f)
+        done
+      done
+  | None -> Alcotest.fail "segment should be exact")
+
+let test_stencil_9point () =
+  (* The paper reports the Omega test could not produce a convex summary
+     from the 0-1 encoding for a 9-point stencil; the hull method handles
+     it directly. *)
+  let nine =
+    List.concat_map (fun a -> List.map (fun b -> [| a; b |]) [ -1; 0; 1 ]) [ -1; 0; 1 ]
+  in
+  match Loopapps.Stencil.hull_summary nine with
+  | Some f ->
+      for d0 = -2 to 2 do
+        for d1 = -2 to 2 do
+          Alcotest.(check bool)
+            (Printf.sprintf "(%d,%d)" d0 d1)
+            (abs d0 <= 1 && abs d1 <= 1)
+            (F.holds
+               (fun u -> env_of [ ("d0", d0); ("d1", d1) ] (V.to_string u))
+               f)
+        done
+      done
+  | None -> Alcotest.fail "9-point stencil should be hull-exact"
+
+let test_touched_via_summary_matches_direct () =
+  let offsets =
+    [ [| 0; 0 |]; [| -1; 0 |]; [| 1; 0 |]; [| 0; -1 |]; [| 0; 1 |] ]
+  in
+  let space =
+    F.and_
+      [
+        F.between (k 2) (v "i") (A.add_const (v "N") Zint.minus_one);
+        F.between (k 2) (v "j") (A.add_const (v "N") Zint.minus_one);
+      ]
+  in
+  let touched =
+    Loopapps.Stencil.touched_via_summary ~space ~vars:[ "i"; "j" ]
+      ~subscripts:[ v "i"; v "j" ] ~offsets
+  in
+  let via_summary = Counting.Engine.count ~vars:[ "elt0"; "elt1" ] touched in
+  let direct = L.touched_count sor ~array:"a" in
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "N=%d" n)
+        (eval_at direct [ ("N", n) ])
+        (eval_at via_summary [ ("N", n) ]))
+    [ 2; 3; 7; 100 ]
+
+let test_hpf_ownership () =
+  let dist = { Loopapps.Hpf.procs = 8; block = 4 } in
+  List.iter
+    (fun proc ->
+      let own = Loopapps.Hpf.ownership_count dist ~proc in
+      List.iter
+        (fun n ->
+          let brute = ref 0 in
+          for t = 0 to n - 1 do
+            if t / 4 mod 8 = proc then incr brute
+          done;
+          Alcotest.(check int)
+            (Printf.sprintf "p%d n=%d" proc n)
+            !brute
+            (eval_at own [ ("n", n) ]))
+        [ 0; 3; 4; 31; 32; 33; 100; 1025 ])
+    [ 0; 3; 7 ]
+
+let test_hpf_messages () =
+  let dist = { Loopapps.Hpf.procs = 8; block = 4 } in
+  List.iter
+    (fun shift ->
+      let msgs = Loopapps.Hpf.messages dist ~shift in
+      List.iter
+        (fun n ->
+          let brute = ref 0 in
+          for i = 0 to n - 1 - shift do
+            if i / 4 mod 8 <> (i + shift) / 4 mod 8 then incr brute
+          done;
+          Alcotest.(check int)
+            (Printf.sprintf "shift=%d n=%d" shift n)
+            !brute
+            (eval_at msgs [ ("n", n) ]))
+        [ 0; 5; 32; 77 ])
+    [ 1; 3 ]
+
+let test_balanced_chunks () =
+  let work = Qpoly.sub (Qpoly.of_int 101) (Qpoly.var "i") in
+  let chunks =
+    Loopapps.Schedule.balanced_chunks ~var:"i" ~lo:1 ~hi:100 ~procs:4 work
+  in
+  Alcotest.(check int) "4 chunks" 4 (List.length chunks);
+  (* chunks partition [1,100] *)
+  let rec check_partition expected = function
+    | [] -> Alcotest.fail "no chunks"
+    | [ (a, b) ] ->
+        Alcotest.(check int) "last start" expected a;
+        Alcotest.(check int) "covers to 100" 100 b
+    | (a, b) :: rest ->
+        Alcotest.(check int) "contiguous" expected a;
+        Alcotest.(check bool) "nonempty" true (b >= a);
+        check_partition (b + 1) rest
+  in
+  check_partition 1 chunks;
+  (* balanced beats naive splitting *)
+  let bal = Loopapps.Schedule.imbalance ~var:"i" ~work ~chunks in
+  let naive =
+    Loopapps.Schedule.imbalance ~var:"i" ~work
+      ~chunks:[ (1, 25); (26, 50); (51, 75); (76, 100) ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced %.3f < naive %.3f" bal naive)
+    true (bal < naive);
+  Alcotest.(check bool) "close to 1" true (bal < 1.1)
+
+let test_prefix_sum_symbolic () =
+  (* W(b) = Σ_{i=1}^{b} i = b(b+1)/2 symbolically *)
+  let w = Loopapps.Schedule.prefix_sum ~var:"i" ~lo:(k 1) (Qpoly.var "i") in
+  List.iter
+    (fun b ->
+      Alcotest.(check int)
+        (Printf.sprintf "b=%d" b)
+        (if b >= 1 then b * (b + 1) / 2 else 0)
+        (eval_at w [ ("b", b) ]))
+    [ 0; 1; 5; 10 ]
+
+let suite =
+  ( "loopapps",
+    [
+      Alcotest.test_case "iteration and flop counts" `Quick test_iteration_count;
+      Alcotest.test_case "E5 SOR memory locations" `Quick test_sor_memory;
+      Alcotest.test_case "E5 SOR cache lines" `Quick test_sor_cache_lines;
+      Alcotest.test_case "flops/memory balance" `Quick test_flops_vs_memory_balance;
+      Alcotest.test_case "guarded nest" `Quick test_guarded_nest;
+      Alcotest.test_case "stencil summaries (5.1)" `Quick test_stencil_summaries;
+      Alcotest.test_case "9-point stencil" `Quick test_stencil_9point;
+      Alcotest.test_case "summary vs direct touched sets" `Quick
+        test_touched_via_summary_matches_direct;
+      Alcotest.test_case "HPF ownership (3.3)" `Quick test_hpf_ownership;
+      Alcotest.test_case "HPF message counting" `Quick test_hpf_messages;
+      Alcotest.test_case "balanced chunk scheduling" `Quick test_balanced_chunks;
+      Alcotest.test_case "symbolic prefix sums" `Quick test_prefix_sum_symbolic;
+    ] )

@@ -1,0 +1,367 @@
+(* Tests for the Omega test core: clause normalization, feasibility, and
+   exact integer projection (real/dark shadow, splintering). *)
+
+module V = Presburger.Var
+module A = Presburger.Affine
+module C = Omega.Clause
+module S = Omega.Solve
+
+let z = Zint.of_int
+let x = V.named "x"
+let y = V.named "y"
+let n = V.named "n"
+let ax = A.var x
+let ay = A.var y
+let an = A.var n
+let k i = A.of_int i
+
+let geq_range v lo hi =
+  (* lo <= v <= hi as two geqs *)
+  [ A.sub v lo; A.sub hi v ]
+
+let test_normalize () =
+  (* 2x >= 3 tightens to x >= 2 *)
+  let c = C.make ~geqs:[ A.add_const (A.scale (z 2) ax) (z (-3)) ] () in
+  (match C.normalize c with
+  | Some c' ->
+      Alcotest.(check int) "one geq" 1 (List.length c'.C.geqs);
+      Alcotest.(check string) "tightened" "x - 2" (A.to_string (List.hd c'.C.geqs))
+  | None -> Alcotest.fail "should be satisfiable");
+  (* x >= 1 and x <= 0 contradict *)
+  Alcotest.(check bool) "contradiction" true
+    (C.normalize (C.make ~geqs:(geq_range ax (k 1) (k 0)) ()) = None);
+  (* x >= 2 and x >= 5: keep only x >= 5 *)
+  (match
+     C.normalize
+       (C.make ~geqs:[ A.add_const ax (z (-2)); A.add_const ax (z (-5)) ] ())
+   with
+  | Some c' -> Alcotest.(check int) "dedup bound" 1 (List.length c'.C.geqs)
+  | None -> Alcotest.fail "satisfiable");
+  (* x <= 3 and x >= 3 become x = 3 *)
+  (match C.normalize (C.make ~geqs:(geq_range ax (k 3) (k 3)) ()) with
+  | Some c' ->
+      Alcotest.(check int) "pinned to eq" 1 (List.length c'.C.eqs);
+      Alcotest.(check int) "no geqs" 0 (List.length c'.C.geqs)
+  | None -> Alcotest.fail "satisfiable");
+  (* 2x = 3 infeasible by gcd *)
+  Alcotest.(check bool) "gcd eq" true
+    (C.normalize (C.make ~eqs:[ A.add_const (A.scale (z 2) ax) (z (-3)) ] ()) = None);
+  (* 4 | 2x+1 infeasible *)
+  Alcotest.(check bool) "stride parity" true
+    (C.normalize
+       (C.make ~strides:[ (z 4, A.add_const (A.scale (z 2) ax) (z 1)) ] ())
+    = None)
+
+let test_feasible_basic () =
+  let feas c = S.is_feasible c in
+  Alcotest.(check bool) "box" true (feas (C.make ~geqs:(geq_range ax (k 1) (k 10)) ()));
+  Alcotest.(check bool) "empty box" false
+    (feas (C.make ~geqs:(geq_range ax (k 1) (k 0)) ()));
+  Alcotest.(check bool) "eq in box" true
+    (feas
+       (C.make
+          ~eqs:[ A.sub ax (k 7) ]
+          ~geqs:(geq_range ax (k 1) (k 10))
+          ()));
+  Alcotest.(check bool) "eq out of box" false
+    (feas
+       (C.make
+          ~eqs:[ A.sub ax (k 11) ]
+          ~geqs:(geq_range ax (k 1) (k 10))
+          ()));
+  (* x in [0,5], 3 | x+1: x = 2 or 5 *)
+  Alcotest.(check bool) "stride hit" true
+    (feas
+       (C.make
+          ~geqs:(geq_range ax (k 0) (k 5))
+          ~strides:[ (z 3, A.add_const ax (z 1)) ]
+          ()));
+  (* x in [0,1], 3 | x+2: x=1 *)
+  Alcotest.(check bool) "stride narrow" true
+    (feas
+       (C.make
+          ~geqs:(geq_range ax (k 0) (k 1))
+          ~strides:[ (z 3, A.add_const ax (z 2)) ]
+          ()));
+  (* x in [2,3], 5 | x: none *)
+  Alcotest.(check bool) "stride miss" false
+    (feas
+       (C.make ~geqs:(geq_range ax (k 2) (k 3)) ~strides:[ (z 5, ax) ] ()))
+
+(* The running example of Section 5.2 / Figure 1:
+   ∃β. 0 ≤ 3β − α ≤ 7 ∧ 1 ≤ α − 2β ≤ 5 has solutions exactly for
+   α = 3, 5 ≤ α ≤ 27, α = 29. *)
+let fig1_clause alpha_val =
+  let beta = V.fresh_wild () in
+  let ab = A.var beta in
+  let aa = k alpha_val in
+  C.make ~wilds:[ beta ]
+    ~geqs:
+      (geq_range (A.sub (A.scale (z 3) ab) aa) (k 0) (k 7)
+      @ geq_range (A.sub aa (A.scale (z 2) ab)) (k 1) (k 5))
+    ()
+
+let fig1_expected v = v = 3 || (5 <= v && v <= 27) || v = 29
+
+let test_fig1_feasibility () =
+  for v = -5 to 40 do
+    Alcotest.(check bool)
+      (Printf.sprintf "alpha=%d" v)
+      (fig1_expected v)
+      (S.is_feasible (fig1_clause v))
+  done
+
+(* Symbolic Figure 1: keep alpha free, eliminate beta; check the disjoint
+   union matches, and that clauses are pairwise disjoint. *)
+let test_fig1_projection () =
+  let alpha = V.named "alpha" in
+  let beta = V.fresh_wild () in
+  let ab = A.var beta and aa = A.var alpha in
+  let cl =
+    C.make
+      ~geqs:
+        (geq_range (A.sub (A.scale (z 3) ab) aa) (k 0) (k 7)
+        @ geq_range (A.sub aa (A.scale (z 2) ab)) (k 1) (k 5))
+      ()
+  in
+  List.iter
+    (fun mode ->
+      let out = S.project mode [ beta ] cl in
+      for v = -5 to 40 do
+        let env _ = z v in
+        let holds_any = List.exists (fun c -> C.holds env c) out in
+        Alcotest.(check bool)
+          (Printf.sprintf "union alpha=%d" v)
+          (fig1_expected v) holds_any
+      done;
+      if mode = S.Exact_disjoint then
+        for v = -5 to 40 do
+          let env _ = z v in
+          let hits = List.filter (fun c -> C.holds env c) out in
+          Alcotest.(check bool)
+            (Printf.sprintf "disjoint alpha=%d" v)
+            true
+            (List.length hits <= 1)
+        done)
+    [ S.Exact_overlapping; S.Exact_disjoint ]
+
+let test_fig1_shadows () =
+  (* With the per-pair rule b·α − a·β ≥ (a−1)(b−1), the dark shadow of the
+     Figure 1 system is 5 ≤ α ≤ 27 — a sound under-approximation of the
+     true solution set {3} ∪ [5,27] ∪ {29}, and slightly tighter than the
+     [5,25] the paper quotes (the paper notes its own dark shadow is not
+     tight). The real shadow is 3 ≤ α ≤ 29. *)
+  let alpha = V.named "alpha" in
+  let beta = V.fresh_wild () in
+  let ab = A.var beta and aa = A.var alpha in
+  let cl =
+    C.make
+      ~geqs:
+        (geq_range (A.sub (A.scale (z 3) ab) aa) (k 0) (k 7)
+        @ geq_range (A.sub aa (A.scale (z 2) ab)) (k 1) (k 5))
+      ()
+  in
+  let in_union out v =
+    List.exists (fun c -> C.holds (fun _ -> z v) c) out
+  in
+  let dark = S.project S.Approx_dark [ beta ] cl in
+  let real = S.project S.Approx_real [ beta ] cl in
+  for v = -5 to 40 do
+    Alcotest.(check bool)
+      (Printf.sprintf "dark alpha=%d" v)
+      (5 <= v && v <= 27)
+      (in_union dark v);
+    Alcotest.(check bool)
+      (Printf.sprintf "real alpha=%d" v)
+      (3 <= v && v <= 29)
+      (in_union real v)
+  done
+
+let test_project_paper_example4 () =
+  (* x = 6i + 9j - 7, 1<=i<=8, 1<=j<=5; projecting i, j leaves the set of
+     25 x values described in Section 2.1. *)
+  let i = V.named "i" and j = V.named "j" in
+  let ai = A.var i and aj = A.var j in
+  let cl =
+    C.make
+      ~eqs:
+        [
+          A.sub (A.var x)
+            (A.add_const (A.add (A.scale (z 6) ai) (A.scale (z 9) aj)) (z (-7)));
+        ]
+      ~geqs:(geq_range ai (k 1) (k 8) @ geq_range aj (k 1) (k 5))
+      ()
+  in
+  List.iter
+    (fun mode ->
+      let out = S.project mode [ i; j ] cl in
+      let expected v =
+        v >= 8 && v <= 86 && (v - 2) mod 3 = 0 && v <> 11 && v <> 83
+      in
+      let count = ref 0 in
+      for v = 0 to 100 do
+        let holds_any = List.exists (fun c -> C.holds (fun _ -> z v) c) out in
+        Alcotest.(check bool) (Printf.sprintf "x=%d" v) (expected v) holds_any;
+        if holds_any then incr count
+      done;
+      Alcotest.(check int) "25 values" 25 !count;
+      if mode = S.Exact_disjoint then
+        for v = 0 to 100 do
+          let hits = List.filter (fun c -> C.holds (fun _ -> z v) c) out in
+          Alcotest.(check bool)
+            (Printf.sprintf "disjoint x=%d" v)
+            true
+            (List.length hits <= 1)
+        done)
+    [ S.Exact_overlapping; S.Exact_disjoint ]
+
+let test_eqs_to_strides () =
+  (* x = 2a, a wild: becomes 2 | x *)
+  let a = V.fresh_wild () in
+  let cl =
+    C.make ~wilds:[ a ] ~eqs:[ A.sub (A.var x) (A.scale (z 2) (A.var a)) ] ()
+  in
+  (match C.eqs_to_strides cl with
+  | Some c' ->
+      Alcotest.(check int) "no eqs" 0 (List.length c'.C.eqs);
+      Alcotest.(check int) "one stride" 1 (List.length c'.C.strides);
+      Alcotest.(check bool) "no wilds" true (V.Set.is_empty c'.C.wilds);
+      let m, e = List.hd c'.C.strides in
+      Alcotest.(check int) "modulus 2" 2 (Zint.to_int_exn m);
+      Alcotest.(check bool) "on x" true (not (Zint.is_zero (A.coeff e x)))
+  | None -> Alcotest.fail "feasible");
+  (* x = 6a + 9b: gcd 3 stride *)
+  let a = V.fresh_wild () and b = V.fresh_wild () in
+  let cl =
+    C.make ~wilds:[ a; b ]
+      ~eqs:
+        [
+          A.sub (A.var x)
+            (A.add (A.scale (z 6) (A.var a)) (A.scale (z 9) (A.var b)));
+        ]
+      ()
+  in
+  (match C.eqs_to_strides cl with
+  | Some c' ->
+      (* semantics preserved: x multiple of 3 *)
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "x=%d" v)
+            (v mod 3 = 0)
+            (C.holds (fun _ -> z v) c'))
+        [ -3; -1; 0; 2; 3; 6; 7; 9 ]
+  | None -> Alcotest.fail "feasible")
+
+(* Property tests --------------------------------------------------------- *)
+
+(* Random clauses over x (to eliminate) and y, n (kept). *)
+let clause_gen =
+  let open QCheck.Gen in
+  let coeff = int_range (-4) 4 in
+  let aff =
+    map2
+      (fun (cx, cy, cn) c ->
+        A.add
+          (A.add (A.term (z cx) x) (A.term (z cy) y))
+          (A.add (A.term (z cn) n) (A.const (z c))))
+      (triple coeff coeff coeff) (int_range (-10) 10)
+  in
+  let geqs = list_size (int_range 1 5) aff in
+  let eqs = list_size (int_range 0 1) aff in
+  let strides =
+    list_size (int_range 0 1) (map2 (fun m e -> (z (2 + m), e)) (int_range 0 3) aff)
+  in
+  QCheck.make
+    ~print:(fun c -> C.to_string c)
+    (map2
+       (fun geqs (eqs, strides) ->
+         (* keep x bounded so that the oracle windows stay small *)
+         C.make ~eqs ~strides ~geqs:(geqs @ geq_range ax (k (-12)) (k 12)) ())
+       geqs (pair eqs strides))
+
+let grid = [ (-4, -3); (-1, 0); (0, 0); (2, 1); (3, 7); (6, 2); (9, 9) ]
+
+let env_of (yv, nv) v =
+  if V.equal v y then z yv
+  else if V.equal v n then z nv
+  else raise Not_found
+
+let prop_project_exact mode name =
+  QCheck.Test.make ~name ~count:120 clause_gen (fun cl ->
+      let out = S.project mode [ x ] cl in
+      List.for_all
+        (fun pt ->
+          let expected =
+            (* ∃x. clause, via the formula oracle *)
+            Presburger.Formula.holds (env_of pt)
+              (Presburger.Formula.exists [ x ] (C.to_formula cl))
+          in
+          let actual = List.exists (fun c -> C.holds (env_of pt) c) out in
+          Bool.equal expected actual)
+        grid)
+
+let prop_project_disjoint =
+  QCheck.Test.make ~name:"project Exact_disjoint yields disjoint clauses"
+    ~count:120 clause_gen (fun cl ->
+      let out = S.project S.Exact_disjoint [ x ] cl in
+      List.for_all
+        (fun pt ->
+          List.length (List.filter (fun c -> C.holds (env_of pt) c) out) <= 1)
+        grid)
+
+let prop_shadow_bounds =
+  QCheck.Test.make ~name:"dark ⊆ exact ⊆ real" ~count:120 clause_gen
+    (fun cl ->
+      let holds_union out pt =
+        List.exists (fun c -> C.holds (env_of pt) c) out
+      in
+      let dark = S.project S.Approx_dark [ x ] cl in
+      let real = S.project S.Approx_real [ x ] cl in
+      let exact = S.project S.Exact_overlapping [ x ] cl in
+      List.for_all
+        (fun pt ->
+          let d = holds_union dark pt
+          and e = holds_union exact pt
+          and r = holds_union real pt in
+          (not d || e) && (not e || r))
+        grid)
+
+let prop_feasible_matches_oracle =
+  QCheck.Test.make ~name:"is_feasible matches brute enumeration" ~count:120
+    clause_gen (fun cl ->
+      (* Bound every variable so brute force is possible. *)
+      let bounded =
+        C.conjoin cl
+          (C.make
+             ~geqs:(geq_range ay (k (-6)) (k 6) @ geq_range an (k (-6)) (k 6))
+             ())
+      in
+      let fml = Presburger.Formula.exists [ x ] (C.to_formula bounded) in
+      let brute = ref false in
+      for yv = -6 to 6 do
+        for nv = -6 to 6 do
+          if (not !brute) && Presburger.Formula.holds (env_of (yv, nv)) fml
+          then brute := true
+        done
+      done;
+      Bool.equal !brute (S.is_feasible bounded))
+
+let suite =
+  ( "omega-solve",
+    [
+      Alcotest.test_case "clause normalization" `Quick test_normalize;
+      Alcotest.test_case "feasibility basics" `Quick test_feasible_basic;
+      Alcotest.test_case "Figure 1 system feasibility" `Quick test_fig1_feasibility;
+      Alcotest.test_case "Figure 1 projection (both modes)" `Quick test_fig1_projection;
+      Alcotest.test_case "Figure 1 dark/real shadows" `Quick test_fig1_shadows;
+      Alcotest.test_case "Example 4 projection" `Quick test_project_paper_example4;
+      Alcotest.test_case "eqs_to_strides" `Quick test_eqs_to_strides;
+      QCheck_alcotest.to_alcotest
+        (prop_project_exact S.Exact_overlapping "project overlapping ≡ ∃x");
+      QCheck_alcotest.to_alcotest
+        (prop_project_exact S.Exact_disjoint "project disjoint ≡ ∃x");
+      QCheck_alcotest.to_alcotest prop_project_disjoint;
+      QCheck_alcotest.to_alcotest prop_shadow_bounds;
+      QCheck_alcotest.to_alcotest prop_feasible_matches_oracle;
+    ] )

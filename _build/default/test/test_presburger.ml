@@ -1,0 +1,296 @@
+(* Tests for the Presburger formula AST, desugaring and the semantics
+   oracle. *)
+
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+
+let z = Zint.of_int
+let i = V.named "i"
+let j = V.named "j"
+let n = V.named "n"
+let ai = A.var i
+let aj = A.var j
+let an = A.var n
+let c k = A.of_int k
+
+let env_of l v =
+  match List.assoc_opt (V.to_string v) l with
+  | Some x -> z x
+  | None -> raise Not_found
+
+let holds f l = F.holds (env_of l) f
+
+let test_affine () =
+  let e = A.add (A.scale (z 2) ai) (A.add_const (A.neg aj) (z 5)) in
+  Alcotest.(check string) "print" "2i - j + 5" (A.to_string e);
+  Alcotest.(check int) "eval" 8 (Zint.to_int_exn (A.eval (env_of [ ("i", 2); ("j", 1) ]) e));
+  Alcotest.(check int) "coeff i" 2 (Zint.to_int_exn (A.coeff e i));
+  Alcotest.(check int) "coeff n" 0 (Zint.to_int_exn (A.coeff e n));
+  Alcotest.(check int) "const" 5 (Zint.to_int_exn (A.constant e));
+  let e2 = A.subst e j (A.add ai (c 1)) in
+  (* 2i - (i+1) + 5 = i + 4 *)
+  Alcotest.(check string) "subst" "i + 4" (A.to_string e2);
+  Alcotest.(check int) "gcd_coeffs" 2
+    (Zint.to_int_exn (A.gcd_coeffs (A.add (A.scale (z 4) ai) (A.scale (z (-6)) aj))));
+  Alcotest.(check string) "zero print" "0" (A.to_string A.zero)
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "const geq true" true (F.equal (F.geq (c 3) (c 1)) F.tru);
+  Alcotest.(check bool) "const geq false" true (F.equal (F.geq (c 0) (c 1)) F.fls);
+  Alcotest.(check bool) "and unit" true (F.equal (F.and_ [ F.tru; F.tru ]) F.tru);
+  Alcotest.(check bool) "and absorb" true
+    (F.equal (F.and_ [ F.geq ai aj; F.fls ]) F.fls);
+  Alcotest.(check bool) "or unit" true (F.equal (F.or_ []) F.fls);
+  Alcotest.(check bool) "not not" true
+    (F.equal (F.not_ (F.not_ (F.geq ai aj))) (F.geq ai aj));
+  (* 2i >= 3 normalizes to i >= 2 (tightening) *)
+  (match F.geq (A.scale (z 2) ai) (c 3) with
+  | F.Atom (F.Geq e) ->
+      Alcotest.(check string) "tighten" "i - 2" (A.to_string e)
+  | _ -> Alcotest.fail "expected atom");
+  (* 2i = 3 is unsatisfiable *)
+  Alcotest.(check bool) "eq infeasible gcd" true
+    (F.equal (F.eq (A.scale (z 2) ai) (c 3)) F.fls);
+  (* stride constant folding *)
+  Alcotest.(check bool) "3 | 6" true (F.equal (F.stride (z 3) (c 6)) F.tru);
+  Alcotest.(check bool) "3 | 7" true (F.equal (F.stride (z 3) (c 7)) F.fls);
+  (* 4 | 2i reduces to 2 | i *)
+  (match F.stride (z 4) (A.scale (z 2) ai) with
+  | F.Atom (F.Stride (m, e)) ->
+      Alcotest.(check int) "reduced modulus" 2 (Zint.to_int_exn m);
+      Alcotest.(check string) "reduced arg" "i" (A.to_string e)
+  | _ -> Alcotest.fail "expected stride atom")
+
+let test_atom_semantics () =
+  let f = F.and_ [ F.geq ai (c 1); F.leq ai an ] in
+  Alcotest.(check bool) "1<=2<=3" true (holds f [ ("i", 2); ("n", 3) ]);
+  Alcotest.(check bool) "1<=4<=3 no" false (holds f [ ("i", 4); ("n", 3) ]);
+  let s = F.stride (z 3) (A.add ai (c 1)) in
+  Alcotest.(check bool) "3|(2+1)" true (holds s [ ("i", 2) ]);
+  Alcotest.(check bool) "3|(3+1) no" false (holds s [ ("i", 3) ]);
+  Alcotest.(check bool) "neq" true
+    (holds (F.neq ai aj) [ ("i", 1); ("j", 2) ]);
+  Alcotest.(check bool) "neq eq" false
+    (holds (F.neq ai aj) [ ("i", 2); ("j", 2) ])
+
+let test_quantifier_semantics () =
+  (* ∃j. 1 <= j <= n ∧ i = 2j  — i even and 2 <= i <= 2n *)
+  let f =
+    F.exists [ j ]
+      (F.and_ [ F.geq aj (c 1); F.leq aj an; F.eq ai (A.scale Zint.two aj) ])
+  in
+  Alcotest.(check bool) "i=4 n=3" true (holds f [ ("i", 4); ("n", 3) ]);
+  Alcotest.(check bool) "i=5 n=3" false (holds f [ ("i", 5); ("n", 3) ]);
+  Alcotest.(check bool) "i=8 n=3" false (holds f [ ("i", 8); ("n", 3) ]);
+  Alcotest.(check bool) "i=6 n=3" true (holds f [ ("i", 6); ("n", 3) ]);
+  (* ∀i. 1 <= i <= n → i <= 5 : true iff n <= 5 *)
+  let g =
+    F.forall [ i ]
+      (F.implies (F.and_ [ F.geq ai (c 1); F.leq ai an ]) (F.leq ai (c 5)))
+  in
+  Alcotest.(check bool) "forall n=5" true (holds g [ ("n", 5) ]);
+  Alcotest.(check bool) "forall n=6" false (holds g [ ("n", 6) ]);
+  Alcotest.(check bool) "forall n=0 vacuous" true (holds g [ ("n", 0) ])
+
+let test_paper_projection () =
+  (* Section 2.1: x = 6i + 9j - 7, 1<=i<=8, 1<=j<=5. Solutions: x between 8
+     and 86 with x ≡ 2 (mod 3), except 11 and 83. *)
+  let x = V.named "x" in
+  let f =
+    F.exists [ i; j ]
+      (F.and_
+         [
+           F.between (c 1) ai (c 8);
+           F.between (c 1) aj (c 5);
+           F.eq (A.var x)
+             (A.add_const
+                (A.add (A.scale (z 6) ai) (A.scale (z 9) aj))
+                (z (-7)));
+         ])
+  in
+  let expected v = v >= 8 && v <= 86 && (v - 2) mod 3 = 0 && v <> 11 && v <> 83 in
+  let count = ref 0 in
+  for v = 0 to 100 do
+    let actual = holds f [ ("x", v) ] in
+    Alcotest.(check bool) (Printf.sprintf "x=%d" v) (expected v) actual;
+    if actual then incr count
+  done;
+  Alcotest.(check int) "25 memory locations (Example 4)" 25 !count
+
+let test_mutually_constrained_wildcards () =
+  (* Figure 1 example: ∃β. 0 ≤ 3β - α ≤ 7 ∧ 1 ≤ α - 2β ≤ 5.
+     Solutions: α = 3, 5 ≤ α ≤ 27, α = 29. *)
+  let alpha = V.named "alpha" in
+  let beta = V.fresh_wild () in
+  let ab = A.var beta and aa = A.var alpha in
+  let f =
+    F.exists [ beta ]
+      (F.and_
+         [
+           F.between (c 0) (A.sub (A.scale (z 3) ab) aa) (c 7);
+           F.between (c 1) (A.sub aa (A.scale (z 2) ab)) (c 5);
+         ])
+  in
+  let expected v = v = 3 || (5 <= v && v <= 27) || v = 29 in
+  for v = -5 to 40 do
+    Alcotest.(check bool)
+      (Printf.sprintf "alpha=%d" v)
+      (expected v)
+      (holds f [ ("alpha", v) ])
+  done
+
+let test_floor_mod_desugar () =
+  (* i = floor(n/3) *)
+  let f = F.floor_div an (z 3) (fun q -> F.eq ai q) in
+  Alcotest.(check bool) "floor 7/3=2" true (holds f [ ("n", 7); ("i", 2) ]);
+  Alcotest.(check bool) "floor 7/3<>3" false (holds f [ ("n", 7); ("i", 3) ]);
+  Alcotest.(check bool) "floor -7/3=-3" true (holds f [ ("n", -7); ("i", -3) ]);
+  (* i = ceil(n/3) *)
+  let g = F.ceil_div an (z 3) (fun q -> F.eq ai q) in
+  Alcotest.(check bool) "ceil 7/3=3" true (holds g [ ("n", 7); ("i", 3) ]);
+  Alcotest.(check bool) "ceil -7/3=-2" true (holds g [ ("n", -7); ("i", -2) ]);
+  Alcotest.(check bool) "ceil 6/3=2" true (holds g [ ("n", 6); ("i", 2) ]);
+  (* i = n mod 3 *)
+  let h = F.mod_ an (z 3) (fun r -> F.eq ai r) in
+  Alcotest.(check bool) "7 mod 3=1" true (holds h [ ("n", 7); ("i", 1) ]);
+  Alcotest.(check bool) "-7 mod 3=2" true (holds h [ ("n", -7); ("i", 2) ]);
+  Alcotest.(check bool) "-7 mod 3<>-1" false (holds h [ ("n", -7); ("i", -1) ])
+
+let test_hpf_block_cyclic () =
+  (* Section 3.3: t = l + 4p + 32c, 0<=l<=3, 0<=p<=7: block-cyclic layout.
+     Element t lives on processor p = (t / 4) mod 8. *)
+  let t = V.named "t" and p = V.named "p" in
+  let cvar = V.fresh_wild () and l = V.fresh_wild () in
+  let f =
+    F.exists [ cvar; l ]
+      (F.and_
+         [
+           F.eq (A.var t)
+             (A.add (A.var l)
+                (A.add (A.scale (z 4) (A.var p)) (A.scale (z 32) (A.var cvar))));
+           F.between (c 0) (A.var l) (c 3);
+           F.between (c 0) (A.var p) (c 7);
+           F.geq (A.var cvar) (c 0);
+         ])
+  in
+  List.iter
+    (fun (tv, pv) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "t=%d on p=%d" tv pv)
+        true
+        (holds f [ ("t", tv); ("p", pv) ]))
+    [ (0, 0); (3, 0); (4, 1); (7, 1); (28, 7); (31, 7); (32, 0); (35, 0); (36, 1) ];
+  Alcotest.(check bool) "t=4 not on p=0" false (holds f [ ("t", 4); ("p", 0) ])
+
+let test_free_vars_subst () =
+  let f =
+    F.exists [ j ] (F.and_ [ F.eq ai (A.scale Zint.two aj); F.leq ai an ])
+  in
+  let fv = F.free_vars f in
+  Alcotest.(check bool) "i free" true (Presburger.Var.Set.mem i fv);
+  Alcotest.(check bool) "n free" true (Presburger.Var.Set.mem n fv);
+  Alcotest.(check bool) "j bound" false (Presburger.Var.Set.mem j fv);
+  (* substituting the bound j is a no-op *)
+  Alcotest.(check bool) "subst bound" true (F.equal f (F.subst f j (c 0)));
+  (* substituting i rewrites atoms *)
+  let g = F.subst f i (A.scale (z 4) an) in
+  Alcotest.(check bool) "subst holds" true (holds g [ ("n", 0) ]);
+  Alcotest.(check bool) "subst holds2" false (holds g [ ("n", 1) ])
+
+(* Property tests --------------------------------------------------------- *)
+
+(* Random quantifier-free formulas over i, j with small coefficients, and
+   random single-existential formulas; check simple logical laws via the
+   oracle. *)
+
+let affine_gen =
+  QCheck.map
+    (fun (a, b, k) ->
+      A.add (A.scale (z a) ai) (A.add (A.scale (z b) aj) (c k)))
+    (QCheck.triple (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3)
+       (QCheck.int_range (-8) 8))
+
+let rec fgen_sized sz =
+  let open QCheck.Gen in
+  let aff = QCheck.gen affine_gen in
+  let atom_g =
+    oneof
+      [
+        map2 F.geq aff aff;
+        map2 F.eq aff aff;
+        map2 (fun c e -> F.stride (z (2 + abs c)) e) (int_range 0 3) aff;
+      ]
+  in
+  if sz = 0 then atom_g
+  else
+    oneof
+      [
+        atom_g;
+        map2 (fun a b -> F.and_ [ a; b ]) (fgen_sized (sz - 1)) (fgen_sized (sz - 1));
+        map2 (fun a b -> F.or_ [ a; b ]) (fgen_sized (sz - 1)) (fgen_sized (sz - 1));
+        map F.not_ (fgen_sized (sz - 1));
+      ]
+
+let fgen = QCheck.make ~print:F.to_string (fgen_sized 3)
+
+let envs =
+  List.concat_map
+    (fun a -> List.map (fun b -> [ ("i", a); ("j", b) ]) [ -3; 0; 2; 7 ])
+    [ -2; 0; 1; 5 ]
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"oracle respects De Morgan" ~count:100
+    (QCheck.pair fgen fgen) (fun (a, b) ->
+      List.for_all
+        (fun e ->
+          Bool.equal
+            (holds (F.not_ (F.and_ [ a; b ])) e)
+            (holds (F.or_ [ F.not_ a; F.not_ b ]) e))
+        envs)
+
+let prop_exists_witness =
+  QCheck.Test.make ~name:"∃i.f true iff some small witness (bounded fms)"
+    ~count:100 fgen (fun f ->
+      (* Add bounds so that the formula is decided within a window we can
+         also brute force. *)
+      let bounded = F.and_ [ F.between (c (-10)) ai (c 10); f ] in
+      let ex = F.exists [ i ] bounded in
+      List.for_all
+        (fun jv ->
+          let e = [ ("j", jv) ] in
+          let brute = ref false in
+          for iv = -10 to 10 do
+            if holds bounded (("i", iv) :: e) then brute := true
+          done;
+          Bool.equal !brute (holds ex e))
+        [ -3; 0; 1; 6 ])
+
+let prop_forall_dual =
+  QCheck.Test.make ~name:"∀ is dual of ∃" ~count:60 fgen (fun f ->
+      let bounded = F.implies (F.between (c (-6)) ai (c 6)) f in
+      let fa = F.forall [ i ] bounded in
+      let du = F.not_ (F.exists [ i ] (F.not_ bounded)) in
+      List.for_all
+        (fun jv ->
+          let e = [ ("j", jv) ] in
+          Bool.equal (holds fa e) (holds du e))
+        [ -2; 0; 4 ])
+
+let suite =
+  ( "presburger",
+    [
+      Alcotest.test_case "affine forms" `Quick test_affine;
+      Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+      Alcotest.test_case "atom semantics" `Quick test_atom_semantics;
+      Alcotest.test_case "quantifier semantics" `Quick test_quantifier_semantics;
+      Alcotest.test_case "paper projection example" `Quick test_paper_projection;
+      Alcotest.test_case "mutually constrained wildcards" `Quick
+        test_mutually_constrained_wildcards;
+      Alcotest.test_case "floor/ceil/mod desugaring" `Quick test_floor_mod_desugar;
+      Alcotest.test_case "HPF block-cyclic (Sec 3.3)" `Quick test_hpf_block_cyclic;
+      Alcotest.test_case "free vars and subst" `Quick test_free_vars_subst;
+      QCheck_alcotest.to_alcotest prop_de_morgan;
+      QCheck_alcotest.to_alcotest prop_exists_witness;
+      QCheck_alcotest.to_alcotest prop_forall_dual;
+    ] )

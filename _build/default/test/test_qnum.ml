@@ -1,0 +1,96 @@
+(* Tests for exact rationals. *)
+
+let q = Qnum.of_ints
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Qnum.to_string expected) (Qnum.to_string actual)
+
+let test_normalization () =
+  check_q "6/4 = 3/2" (q 3 2) (q 6 4);
+  check_q "neg den" (q (-3) 2) (q 3 (-2));
+  check_q "double neg" (q 3 2) (q (-3) (-2));
+  check_q "zero" Qnum.zero (q 0 17);
+  Alcotest.(check string) "print frac" "-3/2" (Qnum.to_string (q 3 (-2)));
+  Alcotest.(check string) "print int" "7" (Qnum.to_string (q 14 2));
+  Alcotest.check_raises "zero den" Division_by_zero (fun () -> ignore (q 1 0))
+
+let test_arithmetic () =
+  check_q "1/2 + 1/3" (q 5 6) (Qnum.add (q 1 2) (q 1 3));
+  check_q "1/2 - 1/3" (q 1 6) (Qnum.sub (q 1 2) (q 1 3));
+  check_q "2/3 * 9/4" (q 3 2) (Qnum.mul (q 2 3) (q 9 4));
+  check_q "div" (q 8 3) (Qnum.div (q 2 3) (q 1 4));
+  check_q "inv" (q (-3) 2) (Qnum.inv (q (-2) 3));
+  check_q "pow" (q 8 27) (Qnum.pow (q 2 3) 3);
+  check_q "pow0" Qnum.one (Qnum.pow (q 5 7) 0);
+  check_q "mul_zint" (q 10 3) (Qnum.mul_zint (q 2 3) (Zint.of_int 5));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Qnum.inv Qnum.zero))
+
+let test_floor_ceil () =
+  let fl a b = Zint.to_int_exn (Qnum.floor (q a b)) in
+  let ce a b = Zint.to_int_exn (Qnum.ceil (q a b)) in
+  Alcotest.(check int) "floor 7/2" 3 (fl 7 2);
+  Alcotest.(check int) "floor -7/2" (-4) (fl (-7) 2);
+  Alcotest.(check int) "floor 6/2" 3 (fl 6 2);
+  Alcotest.(check int) "ceil 7/2" 4 (ce 7 2);
+  Alcotest.(check int) "ceil -7/2" (-3) (ce (-7) 2);
+  Alcotest.(check int) "ceil -6/2" (-3) (ce (-6) 2)
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Qnum.Infix.(q 1 3 < q 1 2);
+  Alcotest.(check bool) "-1/2 < -1/3" true Qnum.Infix.(q (-1) 2 < q (-1) 3);
+  Alcotest.(check bool) "eq" true (Qnum.equal (q 2 4) (q 1 2));
+  check_q "min" (q (-1) 2) (Qnum.min (q (-1) 2) (q 1 3));
+  check_q "max" (q 1 3) (Qnum.max (q (-1) 2) (q 1 3));
+  Alcotest.(check bool) "integral" true (Qnum.is_integral (q 4 2));
+  Alcotest.(check bool) "not integral" false (Qnum.is_integral (q 5 2));
+  Alcotest.(check bool) "to_zint" true
+    (match Qnum.to_zint (q 4 2) with
+    | Some z -> Zint.equal z Zint.two
+    | None -> false)
+
+(* Property tests --------------------------------------------------------- *)
+
+let qgen =
+  QCheck.map
+    (fun (a, b) -> Qnum.of_ints a (if b = 0 then 1 else b))
+    (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range (-50) 50))
+
+let triple = QCheck.triple qgen qgen qgen
+
+let prop_field =
+  QCheck.Test.make ~name:"qnum field laws" ~count:500 triple (fun (a, b, c) ->
+      let open Qnum.Infix in
+      a + b = b + a
+      && a + (b + c) = a + b + c
+      && a * (b + c) = (a * b) + (a * c)
+      && a - a = Qnum.zero
+      && (Qnum.is_zero b || a / b * b = a))
+
+let prop_floor_ceil =
+  QCheck.Test.make ~name:"qnum floor <= x <= ceil, within 1" ~count:500 qgen
+    (fun x ->
+      let f = Qnum.of_zint (Qnum.floor x) and c = Qnum.of_zint (Qnum.ceil x) in
+      Qnum.Infix.(f <= x)
+      && Qnum.Infix.(x <= c)
+      && Qnum.Infix.(Qnum.sub c f <= Qnum.one)
+      && Bool.equal
+           (not (Qnum.is_integral x))
+           (Qnum.equal (Qnum.sub c f) Qnum.one))
+
+let prop_compare_iff_sub =
+  QCheck.Test.make ~name:"qnum compare = sign of difference" ~count:500
+    (QCheck.pair qgen qgen)
+    (fun (a, b) -> Qnum.compare a b = Qnum.sign (Qnum.sub a b))
+
+let suite =
+  ( "qnum",
+    [
+      Alcotest.test_case "normalization" `Quick test_normalization;
+      Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+      Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+      Alcotest.test_case "compare" `Quick test_compare;
+      QCheck_alcotest.to_alcotest prop_field;
+      QCheck_alcotest.to_alcotest prop_floor_ceil;
+      QCheck_alcotest.to_alcotest prop_compare_iff_sub;
+    ] )

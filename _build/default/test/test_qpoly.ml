@@ -1,0 +1,292 @@
+(* Tests for quasi-polynomials, Bernoulli numbers, Faulhaber sums. *)
+
+module Lin = Qpoly.Lin
+module Atom = Qpoly.Atom
+
+let z = Zint.of_int
+let q = Qnum.of_ints
+let n = Qpoly.var "n"
+let m = Qpoly.var "m"
+
+let check_p msg expected actual =
+  Alcotest.(check string)
+    msg
+    (Qpoly.to_string expected)
+    (Qpoly.to_string actual)
+
+let env_of l v = List.assoc v l |> z
+let ev t l = Zint.to_int_exn (Qpoly.eval_zint (env_of l) t)
+
+let test_lin () =
+  let l = Lin.add (Lin.scale (q 2 1) (Lin.var "x")) (Lin.of_int 3) in
+  Alcotest.(check string) "coeff" "2" (Qnum.to_string (Lin.coeff l "x"));
+  Alcotest.(check string) "absent coeff" "0" (Qnum.to_string (Lin.coeff l "y"));
+  Alcotest.(check string) "const" "3" (Qnum.to_string (Lin.constant l));
+  Alcotest.(check (list string)) "vars" [ "x" ] (Lin.vars l);
+  Alcotest.(check bool) "is_const" false (Lin.is_const l);
+  let l2 = Lin.subst l "x" (Lin.add (Lin.var "y") (Lin.of_int 1)) in
+  (* 2(y+1)+3 = 2y+5 *)
+  Alcotest.(check string) "subst eval" "11"
+    (Qnum.to_string (Lin.eval (fun _ -> z 3) l2));
+  Alcotest.(check bool) "sub self" true (Lin.equal (Lin.sub l l) Lin.zero)
+
+let test_atom_modulo () =
+  (* (2n) mod 2 = 0 *)
+  (match Atom.modulo (Lin.scale (q 2 1) (Lin.var "n")) Zint.two with
+  | `Const c -> Alcotest.(check int) "2n mod 2" 0 (Zint.to_int_exn c)
+  | `Atom _ -> Alcotest.fail "2n mod 2 should reduce to const");
+  (* (n + 2) mod 2 = n mod 2 *)
+  (match
+     ( Atom.modulo (Lin.add (Lin.var "n") (Lin.of_int 2)) Zint.two,
+       Atom.modulo (Lin.var "n") Zint.two )
+   with
+  | `Atom a, `Atom b -> Alcotest.(check bool) "n+2 mod 2 = n mod 2" true (Atom.equal a b)
+  | _ -> Alcotest.fail "expected atoms");
+  (* (5n) mod 3 = (2n) mod 3 *)
+  (match
+     ( Atom.modulo (Lin.scale (q 5 1) (Lin.var "n")) (z 3),
+       Atom.modulo (Lin.scale (q 2 1) (Lin.var "n")) (z 3) )
+   with
+  | `Atom a, `Atom b -> Alcotest.(check bool) "5n mod 3 = 2n mod 3" true (Atom.equal a b)
+  | _ -> Alcotest.fail "expected atoms");
+  Alcotest.check_raises "bad modulus"
+    (Invalid_argument "Qpoly.Atom.modulo: modulus must be positive") (fun () ->
+      ignore (Atom.modulo (Lin.var "n") Zint.zero))
+
+let test_arith () =
+  let p1 = Qpoly.add (Qpoly.mul n n) (Qpoly.scale (q 2 1) m) in
+  Alcotest.(check int) "eval n^2+2m" 19 (ev p1 [ ("n", 3); ("m", 5) ]);
+  check_p "sub self" Qpoly.zero (Qpoly.sub p1 p1);
+  check_p "distribute"
+    (Qpoly.mul p1 (Qpoly.add n m))
+    (Qpoly.add (Qpoly.mul p1 n) (Qpoly.mul p1 m));
+  check_p "pow" (Qpoly.mul (Qpoly.mul n n) n) (Qpoly.pow n 3);
+  check_p "pow0" Qpoly.one (Qpoly.pow p1 0);
+  Alcotest.(check int) "degree" 2 (Qpoly.degree p1);
+  Alcotest.(check int) "degree_in n" 2 (Qpoly.degree_in p1 "n");
+  Alcotest.(check int) "degree_in m" 1 (Qpoly.degree_in p1 "m");
+  Alcotest.(check int) "degree zero" (-1) (Qpoly.degree Qpoly.zero);
+  Alcotest.(check (list string)) "vars" [ "m"; "n" ] (Qpoly.vars p1)
+
+let test_to_lin_const () =
+  Alcotest.(check bool) "const" true
+    (match Qpoly.to_const (Qpoly.of_int 5) with
+    | Some c -> Qnum.equal c (q 5 1)
+    | None -> false);
+  Alcotest.(check bool) "not const" true (Qpoly.to_const n = None);
+  Alcotest.(check bool) "affine" true
+    (match Qpoly.to_lin (Qpoly.add n (Qpoly.of_int 1)) with
+    | Some l -> Qnum.equal (Lin.coeff l "n") Qnum.one
+    | None -> false);
+  Alcotest.(check bool) "non-affine" true (Qpoly.to_lin (Qpoly.mul n n) = None)
+
+let test_subst () =
+  (* (n^2 + n) [n := m - 1] = m^2 - m *)
+  let p = Qpoly.add (Qpoly.mul n n) n in
+  let r = Qpoly.sub m Qpoly.one in
+  check_p "subst" (Qpoly.sub (Qpoly.mul m m) m) (Qpoly.subst p "n" r);
+  (* substitution under mod atoms via subst_lin *)
+  let pm =
+    match Atom.modulo (Lin.var "n") Zint.two with
+    | `Atom a -> Qpoly.atom a
+    | `Const _ -> Alcotest.fail "expected atom"
+  in
+  let substituted = Qpoly.subst_lin pm "n" (Lin.add (Lin.var "k") (Lin.of_int 2)) in
+  Alcotest.(check int) "mod subst k=3" 1 (ev substituted [ ("k", 3) ]);
+  Alcotest.(check int) "mod subst k=4" 0 (ev substituted [ ("k", 4) ]);
+  (* (2k) mod 2 should collapse to the constant 0 *)
+  let collapsed = Qpoly.subst_lin pm "n" (Lin.scale (q 2 1) (Lin.var "k")) in
+  check_p "mod collapse" Qpoly.zero collapsed
+
+let test_coeffs_in () =
+  (* n^2*m + 3n + m = (m) + (3)n + (m)... wait: c0 = m, c1 = 3, c2 = m *)
+  let p =
+    Qpoly.add
+      (Qpoly.add (Qpoly.mul (Qpoly.mul n n) m) (Qpoly.scale (q 3 1) n))
+      m
+  in
+  let cs = Qpoly.coeffs_in p "n" in
+  Alcotest.(check int) "arity" 3 (Array.length cs);
+  check_p "c0" m cs.(0);
+  check_p "c1" (Qpoly.of_int 3) cs.(1);
+  check_p "c2" m cs.(2);
+  (* mod atom mentioning the variable is rejected *)
+  let pm =
+    match Atom.modulo (Lin.var "n") Zint.two with
+    | `Atom a -> Qpoly.atom a
+    | `Const _ -> assert false
+  in
+  Alcotest.(check bool) "reject mod" true
+    (try
+       ignore (Qpoly.coeffs_in pm "n");
+       false
+     with Invalid_argument _ -> true)
+
+let test_bernoulli () =
+  let b i = Qnum.to_string (Qpoly.bernoulli i) in
+  Alcotest.(check string) "B0" "1" (b 0);
+  Alcotest.(check string) "B1" "1/2" (b 1);
+  Alcotest.(check string) "B2" "1/6" (b 2);
+  Alcotest.(check string) "B3" "0" (b 3);
+  Alcotest.(check string) "B4" "-1/30" (b 4);
+  Alcotest.(check string) "B6" "1/42" (b 6);
+  Alcotest.(check string) "B8" "-1/30" (b 8);
+  Alcotest.(check string) "B10" "5/66" (b 10);
+  Alcotest.(check string) "B12" "-691/2730" (b 12)
+
+let test_faulhaber_known () =
+  (* F_1 = n(n+1)/2; F_2 = n(n+1)(2n+1)/6 — the CRC formulas cited in 4.1 *)
+  let f1 = Qpoly.faulhaber 1 "n" in
+  check_p "F1"
+    (Qpoly.scale (q 1 2) (Qpoly.add (Qpoly.mul n n) n))
+    f1;
+  let f2 = Qpoly.faulhaber 2 "n" in
+  Alcotest.(check int) "F2(10)" 385 (ev f2 [ ("n", 10) ]);
+  let f0 = Qpoly.faulhaber 0 "n" in
+  check_p "F0 = n" n f0
+
+let test_faulhaber_telescopes () =
+  (* F_p(x) - F_p(x-1) = x^p identically, p up to 12 *)
+  for p = 0 to 12 do
+    let f = Qpoly.faulhaber p "x" in
+    let shifted = Qpoly.subst f "x" (Qpoly.sub (Qpoly.var "x") Qpoly.one) in
+    check_p
+      (Printf.sprintf "telescope p=%d" p)
+      (Qpoly.pow (Qpoly.var "x") p)
+      (Qpoly.sub f shifted)
+  done
+
+let test_range_sum () =
+  (* Σ_{v=-3}^{4} v^3 = -27-8-1+0+1+8+27+64 = 64... compute: (-3)^3..4^3 *)
+  let brute p lo hi =
+    let acc = ref 0 in
+    for v = lo to hi do
+      let rec ipow b e = if e = 0 then 1 else b * ipow b (e - 1) in
+      acc := !acc + ipow v p
+    done;
+    !acc
+  in
+  List.iter
+    (fun (p, lo, hi) ->
+      let rs = Qpoly.range_sum p (Qpoly.of_int lo) (Qpoly.of_int hi) in
+      Alcotest.(check int)
+        (Printf.sprintf "range_sum %d [%d,%d]" p lo hi)
+        (brute p lo hi)
+        (ev rs []))
+    [
+      (0, 1, 10); (1, 1, 10); (2, 1, 10); (3, -3, 4); (4, -5, -2); (1, 0, 0);
+      (2, -1, 1); (5, 2, 7); (0, -4, 4); (7, -3, 3);
+    ]
+
+let test_sum_over () =
+  (* Σ_{i=1}^{n} i(i+1) at n = 10: Σ i^2 + i = 385 + 55 = 440 *)
+  let i = Qpoly.var "i" in
+  let body = Qpoly.mul i (Qpoly.add i Qpoly.one) in
+  let s = Qpoly.sum_over body "i" Qpoly.one n in
+  Alcotest.(check int) "sum i(i+1)" 440 (ev s [ ("n", 10) ]);
+  (* body with symbolic coefficient: Σ_{i=1}^{n} m·i = m n(n+1)/2 *)
+  let s2 = Qpoly.sum_over (Qpoly.mul m i) "i" Qpoly.one n in
+  Alcotest.(check int) "sum m*i" 165 (ev s2 [ ("n", 10); ("m", 3) ])
+
+let test_pp () =
+  Alcotest.(check string) "zero" "0" (Qpoly.to_string Qpoly.zero);
+  Alcotest.(check string) "const" "5" (Qpoly.to_string (Qpoly.of_int 5));
+  Alcotest.(check string) "neg lead" "-n" (Qpoly.to_string (Qpoly.neg n));
+  let p = Qpoly.sub (Qpoly.mul n n) (Qpoly.of_ints 1 2) in
+  Alcotest.(check string) "mixed" "n^2 - 1/2" (Qpoly.to_string p)
+
+(* Property tests --------------------------------------------------------- *)
+
+let poly_gen =
+  (* random small polynomials over n, m *)
+  let open QCheck.Gen in
+  let atom_g =
+    oneof
+      [
+        return (Qpoly.var "n");
+        return (Qpoly.var "m");
+        map Qpoly.of_int (int_range (-4) 4);
+      ]
+  in
+  let term_g =
+    map2
+      (fun l c -> Qpoly.scale (Qnum.of_int c) (List.fold_left Qpoly.mul Qpoly.one l))
+      (list_size (int_range 0 3) atom_g)
+      (int_range (-5) 5)
+  in
+  QCheck.make ~print:Qpoly.to_string
+    (map (List.fold_left Qpoly.add Qpoly.zero) (list_size (int_range 0 4) term_g))
+
+let prop_ring =
+  QCheck.Test.make ~name:"qpoly ring laws" ~count:200
+    (QCheck.triple poly_gen poly_gen poly_gen) (fun (a, b, c) ->
+      Qpoly.equal (Qpoly.mul a (Qpoly.add b c))
+        (Qpoly.add (Qpoly.mul a b) (Qpoly.mul a c))
+      && Qpoly.equal (Qpoly.mul a b) (Qpoly.mul b a)
+      && Qpoly.is_zero (Qpoly.sub (Qpoly.add a b) (Qpoly.add b a)))
+
+let prop_eval_hom =
+  QCheck.Test.make ~name:"qpoly evaluation is a hom" ~count:200
+    (QCheck.quad poly_gen poly_gen (QCheck.int_range (-10) 10)
+       (QCheck.int_range (-10) 10)) (fun (a, b, vn, vm) ->
+      let env v = z (if v = "n" then vn else vm) in
+      let e p = Qpoly.eval env p in
+      Qnum.equal (e (Qpoly.add a b)) (Qnum.add (e a) (e b))
+      && Qnum.equal (e (Qpoly.mul a b)) (Qnum.mul (e a) (e b)))
+
+let prop_subst_eval =
+  QCheck.Test.make ~name:"qpoly subst commutes with eval" ~count:200
+    (QCheck.quad poly_gen poly_gen (QCheck.int_range (-8) 8)
+       (QCheck.int_range (-8) 8))
+    (fun (p, r, vn, vm) ->
+      let env v = z (if v = "n" then vn else vm) in
+      let direct = Qpoly.eval env (Qpoly.subst p "n" r) in
+      let rn = Qpoly.eval env r in
+      match Qnum.to_zint rn with
+      | None -> true
+      | Some rn ->
+          let env' v = if v = "n" then rn else env v in
+          Qnum.equal direct (Qpoly.eval env' p))
+
+let prop_faulhaber_matches_brute =
+  QCheck.Test.make ~name:"faulhaber matches brute sums" ~count:200
+    (QCheck.pair (QCheck.int_range 0 8) (QCheck.int_range (-12) 12))
+    (fun (p, hi) ->
+      let f = Qpoly.faulhaber p "x" in
+      let v = Qpoly.eval_zint (fun _ -> z hi) f in
+      (* F_p(hi) should equal Σ_{v=1}^{hi} v^p, which for hi < 0 is
+         -Σ_{v=hi+1}^{0} v^p by telescoping. *)
+      let brute =
+        let acc = ref Zint.zero in
+        if hi >= 1 then
+          for k = 1 to hi do
+            acc := Zint.add !acc (Zint.pow (z k) p)
+          done
+        else
+          for k = hi + 1 to 0 do
+            acc := Zint.sub !acc (Zint.pow (z k) p)
+          done;
+        !acc
+      in
+      Zint.equal v brute)
+
+let suite =
+  ( "qpoly",
+    [
+      Alcotest.test_case "lin basics" `Quick test_lin;
+      Alcotest.test_case "atom modulo canonicalization" `Quick test_atom_modulo;
+      Alcotest.test_case "arithmetic" `Quick test_arith;
+      Alcotest.test_case "to_lin/to_const" `Quick test_to_lin_const;
+      Alcotest.test_case "substitution" `Quick test_subst;
+      Alcotest.test_case "coeffs_in" `Quick test_coeffs_in;
+      Alcotest.test_case "bernoulli numbers" `Quick test_bernoulli;
+      Alcotest.test_case "faulhaber known" `Quick test_faulhaber_known;
+      Alcotest.test_case "faulhaber telescopes" `Quick test_faulhaber_telescopes;
+      Alcotest.test_case "range sums" `Quick test_range_sum;
+      Alcotest.test_case "sum_over" `Quick test_sum_over;
+      Alcotest.test_case "printing" `Quick test_pp;
+      QCheck_alcotest.to_alcotest prop_ring;
+      QCheck_alcotest.to_alcotest prop_eval_hom;
+      QCheck_alcotest.to_alcotest prop_subst_eval;
+      QCheck_alcotest.to_alcotest prop_faulhaber_matches_brute;
+    ] )

@@ -1,0 +1,178 @@
+(* Integration tests: symbolic counts vs. an actual loop-nest simulation,
+   and Section 4.6 approximate simplification bounds. *)
+
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+module L = Loopapps.Loopnest
+module E = Counting.Engine
+
+let z = Zint.of_int
+let v s = A.var (V.named s)
+let k n = A.of_int n
+
+let env_of l name =
+  match List.assoc_opt name l with
+  | Some x -> z x
+  | None -> raise Not_found
+
+let eval_at value l =
+  Zint.to_int_exn (Counting.Value.eval_zint (env_of l) value)
+
+let sor =
+  {
+    L.loops =
+      [
+        L.loop "i" (k 2) (A.add_const (v "N") Zint.minus_one);
+        L.loop "j" (k 2) (A.add_const (v "N") Zint.minus_one);
+      ];
+    guards = [];
+    flops_per_iteration = 6;
+    accesses =
+      [
+        { L.array = "a"; subscripts = [ v "i"; v "j" ] };
+        { L.array = "a"; subscripts = [ A.add_const (v "i") Zint.minus_one; v "j" ] };
+        { L.array = "a"; subscripts = [ A.add_const (v "i") Zint.one; v "j" ] };
+        { L.array = "a"; subscripts = [ v "i"; A.add_const (v "j") Zint.minus_one ] };
+        { L.array = "a"; subscripts = [ v "i"; A.add_const (v "j") Zint.one ] };
+      ];
+  }
+
+let test_sor_simulation_matches_symbolic () =
+  let mem = L.touched_count sor ~array:"a" in
+  let iters = L.iteration_count sor in
+  let lines = L.cache_line_count sor ~array:"a" ~words:16 ~base:1 in
+  List.iter
+    (fun n ->
+      let trace = Loopapps.Simulate.run sor (env_of [ ("N", n) ]) in
+      Alcotest.(check int)
+        (Printf.sprintf "iterations N=%d" n)
+        trace.Loopapps.Simulate.iterations
+        (eval_at iters [ ("N", n) ]);
+      Alcotest.(check int)
+        (Printf.sprintf "touched N=%d" n)
+        (List.length (Loopapps.Simulate.touched_of trace ~array:"a"))
+        (eval_at mem [ ("N", n) ]);
+      Alcotest.(check int)
+        (Printf.sprintf "lines N=%d" n)
+        (List.length
+           (Loopapps.Simulate.lines_of trace ~array:"a" ~words:16 ~base:1))
+        (eval_at lines [ ("N", n) ]))
+    [ 2; 3; 4; 17; 33; 64 ]
+
+(* Random small nests: iteration count and touched count from the engine
+   must equal the simulator. *)
+let nest_gen =
+  let open QCheck.Gen in
+  let small = int_range (-3) 3 in
+  let aff_over vars =
+    let* c = small and* cst = int_range (-4) 6 in
+    let* pick = int_range 0 (List.length vars) in
+    let base = A.const (Zint.of_int cst) in
+    return
+      (if pick = List.length vars then A.add_const (A.scale (z c) (v "n")) (Zint.of_int cst)
+       else A.add (A.term (z 1) (V.named (List.nth vars pick))) base)
+  in
+  let* lo1 = small and* hi1 = int_range 0 6 in
+  let* hi2 = aff_over [ "i" ] in
+  let* s1 = small and* s2 = small and* s0 = int_range (-3) 3 in
+  let nest =
+    {
+      L.loops =
+        [
+          L.loop "i" (k lo1) (A.add_const (v "n") (Zint.of_int hi1));
+          L.loop "j" (k 0) hi2;
+        ];
+      guards = [];
+      flops_per_iteration = 2;
+      accesses =
+        [
+          {
+            L.array = "a";
+            subscripts =
+              [
+                A.add_const
+                  (A.add (A.scale (z s1) (v "i")) (A.scale (z s2) (v "j")))
+                  (Zint.of_int s0);
+              ];
+          };
+        ];
+    }
+  in
+  return nest
+
+let nest_arb =
+  QCheck.make
+    ~print:(fun nest ->
+      Presburger.Formula.to_string (L.iteration_space nest))
+    nest_gen
+
+let prop_nest_counts_match_simulation =
+  QCheck.Test.make ~name:"loop nest counts = simulation" ~count:30 nest_arb
+    (fun nest ->
+      List.for_all
+        (fun n ->
+          let env = env_of [ ("n", n) ] in
+          let trace = Loopapps.Simulate.run nest env in
+          let iters =
+            eval_at (L.iteration_count nest) [ ("n", n) ]
+          in
+          let mem =
+            eval_at (L.touched_count nest ~array:"a") [ ("n", n) ]
+          in
+          iters = trace.Loopapps.Simulate.iterations
+          && mem
+             = List.length (Loopapps.Simulate.touched_of trace ~array:"a"))
+        [ 0; 1; 3; 5 ])
+
+(* Section 4.6: Upper/Lower strategies bound the exact count even when the
+   formula has quantifiers that would need splintering. *)
+let test_approx_dnf_bounds () =
+  (* count of x in [0, n] that are ≡ 2 (mod 3), via an existential *)
+  let f =
+    F.and_
+      [
+        F.between (k 0) (v "x") (v "n");
+        F.exists
+          [ V.named "t" ]
+          (F.eq (v "x") (A.add_const (A.scale (z 3) (v "t")) Zint.two));
+      ]
+  in
+  let exact = E.count ~vars:[ "x" ] f in
+  let upper = E.count ~opts:{ E.default with strategy = E.Upper } ~vars:[ "x" ] f in
+  let lower = E.count ~opts:{ E.default with strategy = E.Lower } ~vars:[ "x" ] f in
+  for n = 0 to 20 do
+    let e = eval_at exact [ ("n", n) ] in
+    let u = Counting.Value.eval (env_of [ ("n", n) ]) upper in
+    let l = Counting.Value.eval (env_of [ ("n", n) ]) lower in
+    let brute = (n + 1) / 3 in
+    Alcotest.(check int) (Printf.sprintf "exact n=%d" n) brute e;
+    Alcotest.(check bool)
+      (Printf.sprintf "upper n=%d" n)
+      true
+      (Qnum.compare u (Qnum.of_int e) >= 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "lower n=%d" n)
+      true
+      (Qnum.compare l (Qnum.of_int e) <= 0)
+  done
+
+let test_simulation_budget () =
+  Alcotest.(check bool) "budget enforced" true
+    (try
+       ignore
+         (Loopapps.Simulate.run ~max_iterations:10 sor
+            (env_of [ ("N", 100) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "simulate",
+    [
+      Alcotest.test_case "SOR simulation vs symbolic" `Quick
+        test_sor_simulation_matches_symbolic;
+      Alcotest.test_case "approximate DNF bounds (4.6)" `Quick
+        test_approx_dnf_bounds;
+      Alcotest.test_case "simulation budget" `Quick test_simulation_budget;
+      QCheck_alcotest.to_alcotest prop_nest_counts_match_simulation;
+    ] )

@@ -1,0 +1,171 @@
+(* Tests for the guarded-value algebra and engine corner cases. *)
+
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+module C = Omega.Clause
+module E = Counting.Engine
+
+let z = Zint.of_int
+let v s = A.var (V.named s)
+let k n = A.of_int n
+
+let env_of l name =
+  match List.assoc_opt name l with
+  | Some x -> z x
+  | None -> raise Not_found
+
+let eval_q value l = Counting.Value.eval (env_of l) value
+
+let test_value_algebra () =
+  let g1 = C.make ~geqs:[ A.add_const (v "n") (z (-1)) ] () in
+  let p1 = Counting.Value.piece g1 (Qpoly.var "n") in
+  let p2 = Counting.Value.piece C.top (Qpoly.of_int 3) in
+  let s = Counting.Value.add p1 p2 in
+  Alcotest.(check string) "eval n=5" "8" (Qnum.to_string (eval_q s [ ("n", 5) ]));
+  Alcotest.(check string) "eval n=0 guard off" "3"
+    (Qnum.to_string (eval_q s [ ("n", 0) ]));
+  let neg = Counting.Value.neg s in
+  Alcotest.(check string) "neg" "-8" (Qnum.to_string (eval_q neg [ ("n", 5) ]));
+  let sc = Counting.Value.scale (Qnum.of_ints 1 2) s in
+  Alcotest.(check string) "scale" "4" (Qnum.to_string (eval_q sc [ ("n", 5) ]));
+  (* zero pieces vanish *)
+  Alcotest.(check int) "piece of zero poly" 0
+    (List.length (Counting.Value.piece g1 Qpoly.zero))
+
+let test_value_simplify () =
+  let g = C.make ~geqs:[ A.add_const (v "n") (z (-1)) ] () in
+  let p1 = Counting.Value.piece g (Qpoly.var "n") in
+  let p2 = Counting.Value.piece g (Qpoly.neg (Qpoly.var "n")) in
+  (* same guard, values cancel *)
+  Alcotest.(check int) "cancelling pieces" 0
+    (List.length (Counting.Value.simplify (Counting.Value.add p1 p2)));
+  (* infeasible guard dropped *)
+  let bad = C.make ~geqs:[ A.add_const (v "n") (z (-1)); A.sub (k 0) (v "n") ] () in
+  Alcotest.(check int) "infeasible dropped" 0
+    (List.length (Counting.Value.simplify (Counting.Value.piece bad Qpoly.one)));
+  (* merge same guards *)
+  let both = Counting.Value.add p1 (Counting.Value.piece g Qpoly.one) in
+  Alcotest.(check int) "merged" 1
+    (List.length (Counting.Value.simplify both))
+
+let test_eval_zint_rejects_fractional () =
+  let p = Counting.Value.piece C.top (Qpoly.of_ints 1 2) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Counting.Value.eval_zint (fun _ -> raise Not_found) p);
+       false
+     with Failure _ -> true)
+
+(* Engine with equalities/strides interacting with the summand. *)
+let test_sum_with_equality () =
+  (* Σ_{i,j : j = 2i, 1<=i<=n} j  = Σ 2i = n(n+1) *)
+  let f =
+    F.and_
+      [
+        F.between (k 1) (v "i") (v "n");
+        F.eq (v "j") (A.scale (z 2) (v "i"));
+      ]
+  in
+  let s = E.sum ~vars:[ "i"; "j" ] f (Qpoly.var "j") in
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        (Printf.sprintf "n=%d" n)
+        (string_of_int (n * (n + 1)))
+        (Qnum.to_string (eval_q s [ ("n", n) ])))
+    [ 0; 1; 5; 9 ]
+
+let test_sum_with_stride_substitution () =
+  (* Σ_{i : 1<=i<=n, 3 | i} i = 3·Σ_{w : 1<=w<=n/3} w *)
+  let f =
+    F.and_ [ F.between (k 1) (v "i") (v "n"); F.stride (z 3) (v "i") ]
+  in
+  let s = E.sum ~vars:[ "i" ] f (Qpoly.var "i") in
+  List.iter
+    (fun n ->
+      let brute = ref 0 in
+      for i = 1 to n do
+        if i mod 3 = 0 then brute := !brute + i
+      done;
+      Alcotest.(check string)
+        (Printf.sprintf "n=%d" n)
+        (string_of_int !brute)
+        (Qnum.to_string (eval_q s [ ("n", n) ])))
+    [ 0; 2; 3; 7; 12; 17 ]
+
+let test_multiple_symbolic_constants () =
+  (* count {i : a <= i <= b} with two symbolic constants *)
+  let f = F.between (v "a") (v "i") (v "b") in
+  let c = E.count ~vars:[ "i" ] f in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "a=%d b=%d" a b)
+        (string_of_int (max 0 (b - a + 1)))
+        (Qnum.to_string (eval_q c [ ("a", a); ("b", b) ])))
+    [ (1, 10); (5, 5); (7, 3); (-4, 2); (0, 0) ]
+
+let test_negative_direction_ranges () =
+  (* Σ over i in [-n, n] of i^2 = 2·Σ_{1..n} i² = n(n+1)(2n+1)/3 *)
+  let f = F.between (A.neg (v "n")) (v "i") (v "n") in
+  let s = E.sum ~vars:[ "i" ] f (Qpoly.mul (Qpoly.var "i") (Qpoly.var "i")) in
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        (Printf.sprintf "n=%d" n)
+        (string_of_int (n * (n + 1) * ((2 * n) + 1) / 3))
+        (Qnum.to_string (eval_q s [ ("n", n) ])))
+    [ 0; 1; 3; 6 ]
+
+let test_disjunctive_region () =
+  (* two disjoint diagonal strips *)
+  let f =
+    F.or_
+      [
+        F.and_ [ F.between (k 1) (v "i") (k 5); F.eq (v "j") (v "i") ];
+        F.and_
+          [ F.between (k 1) (v "i") (k 5); F.eq (v "j") (A.add_const (v "i") (z 10)) ];
+      ]
+  in
+  let c = E.count ~vars:[ "i"; "j" ] f in
+  Alcotest.(check string) "10 points" "10"
+    (Qnum.to_string (eval_q c []))
+
+let test_implication_api () =
+  (* Section 2.4: verify (∃y.P) ⟹ (∃z.Q) via projection + implies *)
+  let y = V.fresh_wild () and zv = V.fresh_wild () in
+  let p =
+    C.make ~wilds:[ y ]
+      ~eqs:[ A.sub (v "x") (A.scale (z 4) (A.var y)) ]
+      ~geqs:[ A.var y; A.sub (k 10) (A.var y) ]
+      ()
+  in
+  let q =
+    C.make ~wilds:[ zv ] ~eqs:[ A.sub (v "x") (A.scale (z 2) (A.var zv)) ] ()
+  in
+  (* x = 4y (0<=y<=10) implies x = 2z *)
+  let p' = Omega.Solve.project Omega.Solve.Exact_overlapping [] p in
+  let q' = Omega.Solve.project Omega.Solve.Exact_overlapping [] q in
+  match (p', q') with
+  | [ pc ], [ qc ] ->
+      Alcotest.(check bool) "4Z+bounds ⊆ 2Z" true (Omega.Gist.implies pc qc);
+      Alcotest.(check bool) "2Z ⊄ 4Z" false (Omega.Gist.implies qc pc)
+  | _ -> Alcotest.fail "expected single clauses"
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "value algebra" `Quick test_value_algebra;
+      Alcotest.test_case "value simplify" `Quick test_value_simplify;
+      Alcotest.test_case "eval_zint fractional" `Quick test_eval_zint_rejects_fractional;
+      Alcotest.test_case "sum with equality" `Quick test_sum_with_equality;
+      Alcotest.test_case "sum with stride substitution" `Quick
+        test_sum_with_stride_substitution;
+      Alcotest.test_case "two symbolic constants" `Quick
+        test_multiple_symbolic_constants;
+      Alcotest.test_case "symmetric range" `Quick test_negative_direction_ranges;
+      Alcotest.test_case "disjunctive region" `Quick test_disjunctive_region;
+      Alcotest.test_case "implication verification (2.4)" `Quick
+        test_implication_api;
+    ] )

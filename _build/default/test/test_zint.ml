@@ -1,0 +1,239 @@
+(* Tests for the arbitrary-precision integer substrate. *)
+
+let z = Zint.of_int
+let zs = Zint.of_string
+
+let check_z msg expected actual =
+  Alcotest.(check string) msg (Zint.to_string expected) (Zint.to_string actual)
+
+let check_int msg expected actual =
+  Alcotest.(check int) msg expected actual
+
+(* Unit tests ------------------------------------------------------------ *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n ->
+      match Zint.to_int (z n) with
+      | Some m -> check_int (Printf.sprintf "roundtrip %d" n) n m
+      | None -> Alcotest.failf "to_int failed on %d" n)
+    [ 0; 1; -1; 42; -42; 32767; 32768; -32768; 123456789; max_int; min_int ]
+
+let test_to_int_out_of_range () =
+  let big = Zint.mul (z max_int) (z 10) in
+  Alcotest.(check bool) "too big" true (Zint.to_int big = None);
+  Alcotest.(check bool)
+    "too small" true
+    (Zint.to_int (Zint.neg big) = None);
+  (* -max_int - 1 = min_int is exactly representable *)
+  let exactly_min = Zint.pred (Zint.neg (z max_int)) in
+  Alcotest.(check bool) "min_int fits" true (Zint.to_int exactly_min = Some min_int);
+  Alcotest.(check bool)
+    "min_int - 1 does not fit" true
+    (Zint.to_int (Zint.pred exactly_min) = None)
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Zint.to_string (zs s)))
+    [
+      "0"; "1"; "-1"; "32768"; "-32768"; "1000000000000000000000000000";
+      "-98765432109876543210987654321"; "10000"; "99999999999999999999";
+    ]
+
+let test_of_string_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises s (Invalid_argument "dummy") (fun () ->
+          try ignore (Zint.of_string s)
+          with Invalid_argument _ -> raise (Invalid_argument "dummy")))
+    [ ""; "-"; "+"; "12a3"; " 1" ]
+
+let test_add_sub () =
+  check_z "1+1" (z 2) (Zint.add Zint.one Zint.one);
+  check_z "big add"
+    (zs "100000000000000000000")
+    (Zint.add (zs "99999999999999999999") Zint.one);
+  check_z "cancel" Zint.zero (Zint.sub (zs "123456789123456789") (zs "123456789123456789"));
+  check_z "borrow"
+    (zs "99999999999999999999")
+    (Zint.sub (zs "100000000000000000000") Zint.one)
+
+let test_mul () =
+  check_z "sq"
+    (zs "10000000000000000000000000000000000000000")
+    (Zint.mul (zs "100000000000000000000") (zs "100000000000000000000"));
+  check_z "sign" (z (-6)) (Zint.mul (z 2) (z (-3)));
+  check_z "zero" Zint.zero (Zint.mul (zs "917349871234") Zint.zero)
+
+let test_divmod_conventions () =
+  (* truncated: follows OCaml (/) and (mod) *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = Zint.tdiv_rem (z a) (z b) in
+      check_int (Printf.sprintf "tdiv %d %d" a b) (a / b) (Zint.to_int_exn q);
+      check_int (Printf.sprintf "trem %d %d" a b) (a mod b) (Zint.to_int_exn r))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (6, 3); (-6, 3); (0, 5) ];
+  (* floor: remainder has divisor's sign *)
+  let fd a b = Zint.to_int_exn (Zint.fdiv (z a) (z b)) in
+  let fm a b = Zint.to_int_exn (Zint.fmod (z a) (z b)) in
+  check_int "fdiv 7 2" 3 (fd 7 2);
+  check_int "fdiv -7 2" (-4) (fd (-7) 2);
+  check_int "fdiv 7 -2" (-4) (fd 7 (-2));
+  check_int "fdiv -7 -2" 3 (fd (-7) (-2));
+  check_int "fmod -7 2" 1 (fm (-7) 2);
+  check_int "fmod 7 -2" (-1) (fm 7 (-2));
+  (* ceiling *)
+  let cd a b = Zint.to_int_exn (Zint.cdiv (z a) (z b)) in
+  check_int "cdiv 7 2" 4 (cd 7 2);
+  check_int "cdiv -7 2" (-3) (cd (-7) 2);
+  check_int "cdiv 6 2" 3 (cd 6 2)
+
+let test_div_by_zero () =
+  Alcotest.check_raises "tdiv_rem" Division_by_zero (fun () ->
+      ignore (Zint.tdiv_rem Zint.one Zint.zero))
+
+let test_big_division () =
+  let a = zs "123456789012345678901234567890123456789" in
+  let b = zs "987654321098765432109" in
+  let q, r = Zint.tdiv_rem a b in
+  check_z "reconstruct" a (Zint.add (Zint.mul q b) r);
+  Alcotest.(check bool) "r >= 0" true (Zint.sign r >= 0);
+  Alcotest.(check bool) "r < b" true (Zint.compare r b < 0)
+
+let test_gcd () =
+  check_z "gcd 12 18" (z 6) (Zint.gcd (z 12) (z 18));
+  check_z "gcd -12 18" (z 6) (Zint.gcd (z (-12)) (z 18));
+  check_z "gcd 0 5" (z 5) (Zint.gcd Zint.zero (z 5));
+  check_z "gcd 0 0" Zint.zero (Zint.gcd Zint.zero Zint.zero);
+  check_z "lcm 4 6" (z 12) (Zint.lcm (z 4) (z 6));
+  check_z "lcm 0 6" Zint.zero (Zint.lcm Zint.zero (z 6))
+
+let test_gcd_ext () =
+  List.iter
+    (fun (a, b) ->
+      let g, x, y = Zint.gcd_ext (z a) (z b) in
+      check_z
+        (Printf.sprintf "bezout %d %d" a b)
+        g
+        (Zint.add (Zint.mul (z a) x) (Zint.mul (z b) y));
+      check_z (Printf.sprintf "gcd_ext gcd %d %d" a b) (Zint.gcd (z a) (z b)) g)
+    [ (12, 18); (-12, 18); (17, 5); (0, 7); (7, 0); (1, 1); (-4, -6) ]
+
+let test_pow () =
+  check_z "2^10" (z 1024) (Zint.pow Zint.two 10);
+  check_z "x^0" Zint.one (Zint.pow (z 999) 0);
+  check_z "(-3)^3" (z (-27)) (Zint.pow (z (-3)) 3);
+  check_z "10^30" (zs "1000000000000000000000000000000") (Zint.pow Zint.ten 30);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Zint.pow: negative exponent") (fun () ->
+      ignore (Zint.pow Zint.two (-1)))
+
+let test_divides_divexact () =
+  Alcotest.(check bool) "3 | 12" true (Zint.divides (z 3) (z 12));
+  Alcotest.(check bool) "3 | -12" true (Zint.divides (z 3) (z (-12)));
+  Alcotest.(check bool) "5 | 12" false (Zint.divides (z 5) (z 12));
+  Alcotest.(check bool) "0 | 0" true (Zint.divides Zint.zero Zint.zero);
+  Alcotest.(check bool) "0 | 3" false (Zint.divides Zint.zero (z 3));
+  check_z "divexact" (z (-4)) (Zint.divexact (z 12) (z (-3)));
+  Alcotest.check_raises "inexact"
+    (Invalid_argument "Zint.divexact: division is not exact") (fun () ->
+      ignore (Zint.divexact (z 7) (z 2)))
+
+let test_compare () =
+  Alcotest.(check bool) "lt" true Zint.Infix.(z (-3) < z 2);
+  Alcotest.(check bool) "neg mag" true Zint.Infix.(z (-10) < z (-2));
+  check_z "min" (z (-3)) (Zint.min (z (-3)) (z 5));
+  check_z "max" (z 5) (Zint.max (z (-3)) (z 5));
+  Alcotest.(check bool) "is_one" true (Zint.is_one (z 1));
+  Alcotest.(check bool) "sign" true (Zint.sign (z (-9)) = -1)
+
+(* Property tests --------------------------------------------------------- *)
+
+let small_int = QCheck.int_range (-100000) 100000
+
+let prop_ring_matches_native =
+  QCheck.Test.make ~name:"zint add/sub/mul match native int" ~count:500
+    (QCheck.triple small_int small_int small_int)
+    (fun (a, b, c) ->
+      let open Zint in
+      to_int_exn (add (z a) (z b)) = a + b
+      && to_int_exn (sub (z a) (z b)) = a - b
+      && to_int_exn (mul (z a) (z b)) = a * b
+      && to_int_exn (mul (add (z a) (z b)) (z c)) = (a + b) * c)
+
+let prop_divmod_native =
+  QCheck.Test.make ~name:"zint tdiv/trem match native" ~count:500
+    (QCheck.pair small_int small_int)
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = Zint.tdiv_rem (z a) (z b) in
+      Zint.to_int_exn q = a / b && Zint.to_int_exn r = a mod b)
+
+let big = QCheck.map (fun (a, b) -> Zint.add (Zint.mul (z a) (z max_int)) (z b))
+    (QCheck.pair QCheck.int QCheck.int)
+
+let prop_big_divmod =
+  QCheck.Test.make ~name:"zint big division law" ~count:300
+    (QCheck.pair big big)
+    (fun (a, b) ->
+      QCheck.assume (not (Zint.is_zero b));
+      let q, r = Zint.tdiv_rem a b in
+      Zint.equal a (Zint.add (Zint.mul q b) r)
+      && Zint.compare (Zint.abs r) (Zint.abs b) < 0
+      && (Zint.is_zero r || Zint.sign r = Zint.sign a))
+
+let prop_fdiv_law =
+  QCheck.Test.make ~name:"zint floor-division law" ~count:300
+    (QCheck.pair big big)
+    (fun (a, b) ->
+      QCheck.assume (not (Zint.is_zero b));
+      let q, r = Zint.fdiv_rem a b in
+      Zint.equal a (Zint.add (Zint.mul q b) r)
+      && Zint.compare (Zint.abs r) (Zint.abs b) < 0
+      && (Zint.is_zero r || Zint.sign r = Zint.sign b))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"zint string roundtrip" ~count:300 big (fun a ->
+      Zint.equal a (Zint.of_string (Zint.to_string a)))
+
+let prop_gcd =
+  QCheck.Test.make ~name:"zint gcd divides and bezout" ~count:300
+    (QCheck.pair big big)
+    (fun (a, b) ->
+      let g = Zint.gcd a b in
+      let g', x, y = Zint.gcd_ext a b in
+      Zint.equal g g'
+      && Zint.equal g (Zint.add (Zint.mul a x) (Zint.mul b y))
+      && (Zint.is_zero g
+         || (Zint.divides g a && Zint.divides g b && Zint.sign g > 0)))
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"zint compare consistent with sub" ~count:300
+    (QCheck.pair big big)
+    (fun (a, b) -> Zint.compare a b = Zint.sign (Zint.sub a b))
+
+let suite =
+  ( "zint",
+    [
+      Alcotest.test_case "of_int/to_int roundtrip" `Quick test_of_to_int;
+      Alcotest.test_case "to_int range" `Quick test_to_int_out_of_range;
+      Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+      Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+      Alcotest.test_case "add/sub" `Quick test_add_sub;
+      Alcotest.test_case "mul" `Quick test_mul;
+      Alcotest.test_case "divmod conventions" `Quick test_divmod_conventions;
+      Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+      Alcotest.test_case "big division" `Quick test_big_division;
+      Alcotest.test_case "gcd/lcm" `Quick test_gcd;
+      Alcotest.test_case "extended gcd" `Quick test_gcd_ext;
+      Alcotest.test_case "pow" `Quick test_pow;
+      Alcotest.test_case "divides/divexact" `Quick test_divides_divexact;
+      Alcotest.test_case "compare/min/max" `Quick test_compare;
+      QCheck_alcotest.to_alcotest prop_ring_matches_native;
+      QCheck_alcotest.to_alcotest prop_divmod_native;
+      QCheck_alcotest.to_alcotest prop_big_divmod;
+      QCheck_alcotest.to_alcotest prop_fdiv_law;
+      QCheck_alcotest.to_alcotest prop_string_roundtrip;
+      QCheck_alcotest.to_alcotest prop_gcd;
+      QCheck_alcotest.to_alcotest prop_compare_antisym;
+    ] )
