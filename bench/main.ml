@@ -335,6 +335,75 @@ let report () =
   Printf.printf "%s\n\n" line
 
 (* ------------------------------------------------------------------ *)
+(* Instrumented runs: one JSON line per experiment (cache hit/miss,
+   per-phase wall time, engine counters), then a memoization-ablation
+   line comparing executed eliminations with the memo on and off.       *)
+
+let instr_experiments : (string * (unit -> unit)) list =
+  [
+    ("E0_intro_table", fun () -> List.iter (fun q -> ignore (run_query q)) intro_queries);
+    ("E1_example1", fun () -> ignore (E.count ~vars:[ "i"; "j"; "kk" ] example1_formula));
+    ("E2_example2", fun () -> ignore (E.count ~vars:[ "i"; "j"; "kk" ] example2_formula));
+    ("E4_example4", fun () -> ignore (E.count ~vars:[ "x" ] example4_formula));
+    ( "E6_example6",
+      fun () ->
+        ignore
+          (Counting.Merge.merge_residues
+             (E.count ~vars:[ "i"; "j" ] example6_formula)) );
+    ("S26_simplify", fun () -> ignore (Omega.Dnf.of_formula section26_formula));
+    ( "S33_hpf_ownership",
+      fun () ->
+        ignore
+          (Loopapps.Hpf.ownership_count
+             { Loopapps.Hpf.procs = 8; block = 4 }
+             ~proc:0) );
+  ]
+
+let instr_report () =
+  Printf.printf "Instrumented runs (cold caches, one JSON line each):\n";
+  let on_elims =
+    (* the instrumented run below is itself a cold memo-on run, so its
+       eliminations counter doubles as the ablation "on" figure *)
+    List.map
+      (fun (label, f) ->
+        Omega.Memo.clear_all ();
+        let (), r = E.with_instr ~label f in
+        Printf.printf "%s\n" (Counting.Instr.to_json r);
+        (label, r.Counting.Instr.memo.Omega.Memo.eliminations))
+      instr_experiments
+  in
+  (* Memo ablation: executed elimination bodies with the tables off vs
+     on (cold), per experiment.  E4 and S33 are excluded: their
+     elimination counts are dominated by the engine's per-equality
+     eliminate_via_eq calls, which are inherently uncacheable (each call
+     sees a fresh wildcard), so the off-run just doubles bench time to
+     report a ~0% reduction — their instrumented lines above still carry
+     the full cache counters. *)
+  let ablatable =
+    List.filter
+      (fun (label, _) ->
+        label <> "E4_example4" && label <> "S33_hpf_ownership")
+      instr_experiments
+  in
+  Omega.Memo.set_enabled false;
+  List.iter
+    (fun (label, f) ->
+      Omega.Memo.clear_all ();
+      let before = Omega.Memo.(snapshot ()).eliminations in
+      f ();
+      let off = Omega.Memo.((snapshot ()).eliminations) - before in
+      let on = List.assoc label on_elims in
+      let reduction_pct =
+        if off = 0 then 0.
+        else 100. *. float_of_int (off - on) /. float_of_int off
+      in
+      Printf.printf
+        "{\"label\":\"memo_ablation_%s\",\"eliminations_off\":%d,\"eliminations_on\":%d,\"reduction_pct\":%.1f}\n"
+        label off on reduction_pct)
+    ablatable;
+  Omega.Memo.set_enabled true
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                      *)
 
 open Bechamel
@@ -406,7 +475,10 @@ let tests =
     ]
 
 let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
   report ();
+  instr_report ();
+  if quick then exit 0;
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in

@@ -14,14 +14,23 @@ let parse_binding s =
       (name, Zint.of_string value)
   | None -> raise (Arg.Bad (Printf.sprintf "bad binding %S (want name=int)" s))
 
-let run query bindings strategy merge =
+let run query bindings strategy merge stats =
   let q = Preslang.parse_query query in
   let opts = { Counting.Engine.default with strategy } in
-  let value =
-    Counting.Engine.sum ~opts ~vars:q.Preslang.vars q.Preslang.formula
-      q.Preslang.summand
+  let compute () =
+    let value =
+      Counting.Engine.sum ~opts ~vars:q.Preslang.vars q.Preslang.formula
+        q.Preslang.summand
+    in
+    if merge then Counting.Merge.merge_residues value else value
   in
-  let value = if merge then Counting.Merge.merge_residues value else value in
+  let value, report =
+    if stats then begin
+      let value, report = Counting.Engine.with_instr ~label:"omcount" compute in
+      (value, Some report)
+    end
+    else (compute (), None)
+  in
   Printf.printf "%s\n" (Counting.Value.to_string value);
   if bindings <> [] then begin
     let env name =
@@ -35,13 +44,25 @@ let run query bindings strategy merge =
             (fun (n, z) -> Printf.sprintf "%s=%s" n (Zint.to_string z))
             bindings))
       (Qnum.to_string (Counting.Value.eval env value))
-  end
+  end;
+  match report with
+  | None -> ()
+  | Some r ->
+      Format.eprintf "%a@." Counting.Instr.pp r;
+      Printf.eprintf "%s\n" (Counting.Instr.to_json r)
 
 (* --simplify: print the disjoint DNF of a bare formula — the Omega
    test's Section 2.6 capability, exposed directly. *)
-let simplify_formula s =
+let simplify_formula s stats =
   let f = Preslang.parse_formula s in
-  let cls = Omega.Disjoint.of_formula f in
+  let compute () = Omega.Disjoint.of_formula f in
+  let cls, report =
+    if stats then begin
+      let cls, report = Counting.Engine.with_instr ~label:"omcount" compute in
+      (cls, Some report)
+    end
+    else (compute (), None)
+  in
   (match cls with
   | [] -> print_endline "FALSE"
   | _ ->
@@ -52,13 +73,19 @@ let simplify_formula s =
             (Omega.Clause.to_string c))
         cls);
   Printf.printf "(%d disjoint clause%s)\n" (List.length cls)
-    (if List.length cls = 1 then "" else "s")
+    (if List.length cls = 1 then "" else "s");
+  match report with
+  | None -> ()
+  | Some r ->
+      Format.eprintf "%a@." Counting.Instr.pp r;
+      Printf.eprintf "%s\n" (Counting.Instr.to_json r)
 
 let () =
   let bindings = ref [] in
   let strategy = ref Counting.Engine.Exact in
   let merge = ref true in
   let simplify = ref false in
+  let stats = ref false in
   let query = ref None in
   let spec =
     [
@@ -80,6 +107,13 @@ let () =
                | _ -> Counting.Engine.Exact)),
         "  rational-bound strategy (default exact)" );
       ("--no-merge", Arg.Clear merge, "  do not merge residue classes");
+      ( "--stats",
+        Arg.Set stats,
+        "  print phase timings and memo counters (plus a JSON line) to \
+         stderr" );
+      ( "--no-memo",
+        Arg.Unit (fun () -> Omega.Memo.set_enabled false),
+        "  disable solver memoization" );
     ]
   in
   let usage = "omcount [options] \"count { vars : formula }\" | \"sum { vars : formula } expr\"" in
@@ -90,8 +124,8 @@ let () =
       exit 2
   | Some q -> (
       try
-        if !simplify then simplify_formula q
-        else run q !bindings !strategy !merge
+        if !simplify then simplify_formula q !stats
+        else run q !bindings !strategy !merge !stats
       with
       | Preslang.Parse_error (pos, msg) ->
           Printf.eprintf "parse error at offset %d: %s\n" pos msg;

@@ -34,11 +34,13 @@ let new_stats () =
 
 exception Unbounded of string
 
-let fresh_sum_var =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    V.named (Printf.sprintf "%%w%d" !n)
+let sum_var_counter = ref 0
+
+let fresh_sum_var () =
+  incr sum_var_counter;
+  V.named (Printf.sprintf "%%w%d" !sum_var_counter)
+
+let reset_fresh_sum_var () = sum_var_counter := 0
 
 let max_steps = 20_000
 
@@ -388,10 +390,23 @@ and single_pair opts stats vars poly clause fuel v ~rest (b, beta) (a, alpha)
           (residues bi)
   end
 
-let sum_clauses ?(opts = default) ?(stats = new_stats ()) ~vars cls poly =
+(* Ambient stats installed by [with_instr], so instrumented runs see
+   engine counts without threading a [stats] through every caller. *)
+let ambient_stats : stats option ref = ref None
+
+let resolve_stats = function
+  | Some s -> s
+  | None -> ( match !ambient_stats with Some s -> s | None -> new_stats ())
+
+let sum_clauses ?(opts = default) ?stats ~vars cls poly =
+  let stats = resolve_stats stats in
   let vs = List.map V.named vars in
   stats.dnf_clauses <- stats.dnf_clauses + List.length cls;
-  List.concat_map (fun c -> go opts stats vs poly c 0) cls |> Value.simplify
+  let pieces =
+    Instr.time_phase "sum" (fun () ->
+        List.concat_map (fun c -> go opts stats vs poly c 0) cls)
+  in
+  Instr.time_phase "simplify" (fun () -> Value.simplify pieces)
 
 let sum ?(opts = default) ?stats ~vars f poly =
   let cls =
@@ -400,20 +415,37 @@ let sum ?(opts = default) ?stats ~vars f poly =
        (over-approximate) or dark (under-approximate) shadow instead of
        splintering. Disjointness is still enforced so no overlap inflates
        a lower bound. *)
-    match opts.strategy with
-    | Upper ->
-        Omega.Disjoint.to_disjoint
-          (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_real f)
-    | Lower ->
-        Omega.Disjoint.to_disjoint
-          (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_dark f)
-    | Exact | Symbolic ->
-        if opts.disjoint then Omega.Disjoint.of_formula f
-        else Omega.Dnf.of_formula f
+    Instr.time_phase "dnf" (fun () ->
+        match opts.strategy with
+        | Upper ->
+            Omega.Disjoint.to_disjoint
+              (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_real f)
+        | Lower ->
+            Omega.Disjoint.to_disjoint
+              (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_dark f)
+        | Exact | Symbolic ->
+            if opts.disjoint then Omega.Disjoint.of_formula f
+            else Omega.Dnf.of_formula f)
   in
   sum_clauses ~opts ?stats ~vars cls poly
 
 let count ?opts ?stats ~vars f = sum ?opts ?stats ~vars f Qpoly.one
+
+let stats_fields s =
+  [
+    ("dnf_clauses", s.dnf_clauses);
+    ("bound_splits", s.bound_splits);
+    ("residue_splinters", s.residue_splinters);
+    ("pieces", s.pieces);
+  ]
+
+let with_instr ?label f =
+  let s = new_stats () in
+  let saved = !ambient_stats in
+  ambient_stats := Some s;
+  Fun.protect
+    ~finally:(fun () -> ambient_stats := saved)
+    (fun () -> Instr.collect ?label ~counts:(fun () -> stats_fields s) f)
 
 let brute_sum ~vars ~lo ~hi env f poly =
   let rec loop bound vars acc =

@@ -70,6 +70,9 @@ type stats = {
 
 val new_stats : unit -> stats
 
+(** Stats as labelled fields, for report/JSON emission. *)
+val stats_fields : stats -> (string * int) list
+
 (** Raised when the summation region is unbounded in some variable. *)
 exception Unbounded of string
 
@@ -100,6 +103,20 @@ val sum_clauses :
   Omega.Clause.t list ->
   Qpoly.t ->
   Value.t
+
+(** [with_instr ?label f] runs [f] under instrumentation: phase timers
+    are reset, engine counters are collected from every [sum]/[count]
+    call inside [f] that does not pass its own [?stats], and the memo
+    hit/miss deltas are captured. Returns [f]'s result with the
+    {!Instr.report}. Not reentrant (the phase table is global). *)
+val with_instr :
+  ?label:string -> (unit -> 'a) -> 'a * Instr.report
+
+(** [fresh_sum_var] names for stride substitution come from a global
+    counter; [reset_fresh_sum_var] rewinds it so a repeated computation
+    produces syntactically identical results (tests; see also
+    {!Presburger.Var.reset_fresh}). *)
+val reset_fresh_sum_var : unit -> unit
 
 (** Brute-force reference: sum [poly] over assignments of [vars] in the
     box [[lo, hi]]^k satisfying [f] under [env] — the test oracle. *)

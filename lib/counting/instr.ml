@@ -1,0 +1,132 @@
+(* Phase timers and run reports. The table is global and tiny (a handful
+   of named phases), so entering a phase is two clock reads and a hashtbl
+   hit — cheap enough to leave permanently enabled. *)
+
+type phase = { mutable seconds : float; mutable entries : int }
+
+let phases : (string, phase) Hashtbl.t = Hashtbl.create 8
+
+(* Wall clock. [Unix.gettimeofday] is the best clock available without
+   external deps; not strictly monotonic under clock adjustment, but
+   phase spans are microseconds-to-seconds and reports are advisory. *)
+let now () = Unix.gettimeofday ()
+
+let find name =
+  match Hashtbl.find_opt phases name with
+  | Some p -> p
+  | None ->
+      let p = { seconds = 0.; entries = 0 } in
+      Hashtbl.add phases name p;
+      p
+
+let time_phase name f =
+  let p = find name in
+  let t0 = now () in
+  Fun.protect
+    ~finally:(fun () ->
+      p.seconds <- p.seconds +. (now () -. t0);
+      p.entries <- p.entries + 1)
+    f
+
+let reset_phases () = Hashtbl.reset phases
+
+let phase_fields () =
+  Hashtbl.fold (fun name p acc -> (name, (p.seconds, p.entries)) :: acc) phases []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+
+type report = {
+  label : string;
+  wall_s : float;
+  phases : (string * (float * int)) list;
+  memo : Omega.Memo.counters;
+  counts : (string * int) list;
+}
+
+(* [collect ~label f] runs [f] with fresh phase timers and a memo-counter
+   baseline, and pairs its result with the deltas. Nesting is not
+   supported (the phase table is global); memo *tables* are left alone,
+   so a collected run still benefits from earlier warm-up. *)
+let collect ?(label = "run") ?(counts = fun () -> []) f =
+  reset_phases ();
+  let m0 = Omega.Memo.snapshot () in
+  let t0 = now () in
+  let x = f () in
+  let wall_s = now () -. t0 in
+  let memo = Omega.Memo.(diff (snapshot ()) m0) in
+  (x, { label; wall_s; phases = phase_fields (); memo; counts = counts () })
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"label\":\"%s\",\"wall_s\":%.6f" (json_escape r.label)
+       r.wall_s);
+  Buffer.add_string b ",\"phases\":{";
+  List.iteri
+    (fun i (name, (s, n)) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":{\"seconds\":%.6f,\"entries\":%d}"
+           (json_escape name) s n))
+    r.phases;
+  Buffer.add_string b "},\"memo\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
+    (Omega.Memo.counters_to_fields r.memo);
+  Buffer.add_string b "}";
+  if r.counts <> [] then begin
+    Buffer.add_string b ",\"engine\":{";
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+      r.counts;
+    Buffer.add_string b "}"
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let hit_rate hits queries =
+  if queries = 0 then 0. else 100. *. float_of_int hits /. float_of_int queries
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>%s: %.3fs wall@," r.label r.wall_s;
+  List.iter
+    (fun (name, (s, n)) ->
+      Format.fprintf fmt "  phase %-10s %8.3fs  (%d entries)@," name s n)
+    r.phases;
+  let m = r.memo in
+  Format.fprintf fmt "  feas   %d queries, %d hits (%.1f%%)@," m.feas_queries
+    m.feas_hits
+    (hit_rate m.feas_hits m.feas_queries);
+  Format.fprintf fmt "  elim   %d queries, %d hits (%.1f%%)@," m.elim_queries
+    m.elim_hits
+    (hit_rate m.elim_hits m.elim_queries);
+  Format.fprintf fmt "  gist   %d queries, %d hits (%.1f%%)@," m.gist_queries
+    m.gist_hits
+    (hit_rate m.gist_hits m.gist_queries);
+  Format.fprintf fmt "  eliminations %d, evictions %d@," m.eliminations
+    m.evictions;
+  List.iter (fun (name, v) -> Format.fprintf fmt "  %-12s %d@," name v) r.counts;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,37 @@
+(** Instrumentation for the counting pipeline: named phase timers, memo
+    hit/miss counters, and structured run reports (human-readable and
+    single-line JSON, the format the benchmark driver emits).
+
+    The phase table is global; {!collect} (and its wrapper
+    [Engine.with_instr]) resets it around a measured run. Memo tables are
+    {e not} cleared — a measured run keeps whatever warm-up preceded it;
+    use [Omega.Memo.clear_all] first for cold-cache numbers. *)
+
+(** [time_phase name f] runs [f], accumulating its wall time and entry
+    count under [name]. Do not nest the same phase. *)
+val time_phase : string -> (unit -> 'a) -> 'a
+
+val reset_phases : unit -> unit
+
+(** Accumulated [(name, (seconds, entries))], sorted by name. *)
+val phase_fields : unit -> (string * (float * int)) list
+
+type report = {
+  label : string;
+  wall_s : float;
+  phases : (string * (float * int)) list;
+  memo : Omega.Memo.counters;  (** deltas over the measured run *)
+  counts : (string * int) list;  (** extra counters, e.g. engine stats *)
+}
+
+(** [collect ?label ?counts f] measures [f]: fresh phase table, memo
+    counters deltas, wall time; [counts] is sampled after [f] returns.
+    Not reentrant. *)
+val collect :
+  ?label:string -> ?counts:(unit -> (string * int) list) -> (unit -> 'a) -> 'a * report
+
+(** One-line JSON object:
+    [{"label":…,"wall_s":…,"phases":{…},"memo":{…},"engine":{…}}]. *)
+val to_json : report -> string
+
+val pp : Format.formatter -> report -> unit

@@ -68,9 +68,19 @@ let remove_redundant (c : Clause.t) =
         Clause.normalize (clause_of_constraints c.wilds ks)
       end
 
-let gist p ~given =
-  if not (V.Set.is_empty p.Clause.wilds) then
-    invalid_arg "Gist.gist: p must be wildcard-free";
+module GistTbl = Memo.Lru (struct
+  type t = Memo.Ckey.t * Memo.Fkey.t
+
+  let equal (p1, g1) (p2, g2) =
+    Memo.Ckey.equal p1 p2 && Memo.Fkey.equal g1 g2
+
+  let hash (p, g) =
+    ((Memo.Ckey.hash p * 65599) + Memo.Fkey.hash g) land max_int
+end)
+
+let gist_cache : Clause.t GistTbl.t = GistTbl.create 8192
+
+let gist_uncached p given =
   let given = Clause.rename_wilds given in
   let rec filter kept = function
     | [] -> List.rev kept
@@ -84,6 +94,25 @@ let gist p ~given =
   in
   let ks = filter [] (constraints_of p) in
   clause_of_constraints V.Set.empty ks
+
+let gist p ~given =
+  if not (V.Set.is_empty p.Clause.wilds) then
+    invalid_arg "Gist.gist: p must be wildcard-free";
+  Memo.counters.gist_queries <- Memo.counters.gist_queries + 1;
+  if not (Memo.enabled ()) then gist_uncached p given
+  else begin
+    (* [p] is keyed exactly (the result is built from its constraints);
+       [given] only up to wildcard names, which [gist] renames anyway. *)
+    let key = (Memo.Ckey.of_clause p, Memo.wilds_canonical_key given) in
+    match GistTbl.find_opt gist_cache key with
+    | Some r ->
+        Memo.counters.gist_hits <- Memo.counters.gist_hits + 1;
+        r
+    | None ->
+        let r = gist_uncached p given in
+        GistTbl.add ~weight:(Clause.size r) gist_cache key r;
+        r
+  end
 
 let implies p q =
   if not (Solve.is_feasible p) then true

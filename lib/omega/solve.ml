@@ -27,6 +27,7 @@ let bounds v geqs =
    it is exact, always applicable, and terminates in conjunction with
    stride normalization, which reduces coefficients modulo the modulus. *)
 let eliminate_via_eq v c =
+  Memo.counters.eliminations <- Memo.counters.eliminations + 1;
   let open Clause in
   (* pick the equality with the smallest |coefficient| on v *)
   let best =
@@ -85,8 +86,8 @@ let check_no_eq_occurrence v (c : Clause.t) =
     invalid_arg
       "Solve.eliminate: variable still occurs in equalities or strides"
 
-let eliminate mode v (c : Clause.t) : Clause.t list =
-  check_no_eq_occurrence v c;
+let eliminate_uncached mode v (c : Clause.t) : Clause.t list =
+  Memo.counters.eliminations <- Memo.counters.eliminations + 1;
   let lowers, uppers, rest = bounds v c.geqs in
   let base = { c with geqs = rest; wilds = V.Set.remove v c.wilds } in
   if lowers = [] || uppers = [] then [ base ]
@@ -196,6 +197,33 @@ let eliminate mode v (c : Clause.t) : Clause.t list =
           dark_clause :: List.rev !outputs
   end
 
+module ElimTbl = Memo.Lru (Memo.Ckey)
+
+let elim_cache : Clause.t list ElimTbl.t = ElimTbl.create 8192
+
+let mode_tag = function
+  | Exact_overlapping -> 0
+  | Exact_disjoint -> 1
+  | Approx_dark -> 2
+  | Approx_real -> 3
+
+let eliminate mode v (c : Clause.t) : Clause.t list =
+  check_no_eq_occurrence v c;
+  Memo.counters.elim_queries <- Memo.counters.elim_queries + 1;
+  if not (Memo.enabled ()) then eliminate_uncached mode v c
+  else begin
+    let key = Memo.Ckey.of_clause ~salt:(mode_tag mode) ~vars:[ v ] c in
+    match ElimTbl.find_opt elim_cache key with
+    | Some r ->
+        Memo.counters.elim_hits <- Memo.counters.elim_hits + 1;
+        r
+    | None ->
+        let r = eliminate_uncached mode v c in
+        let w = List.fold_left (fun acc cl -> acc + Clause.size cl) 0 r in
+        ElimTbl.add ~weight:w elim_cache key r;
+        r
+  end
+
 (* Wildcard-occurrence classification used by the reduction loop. *)
 let wild_occurrences (c : Clause.t) =
   let occ_in l v = List.exists (fun e -> not (Zint.is_zero (A.coeff e v))) l in
@@ -288,9 +316,32 @@ let project mode vars (c : Clause.t) : Clause.t list =
   reduce 0 c;
   List.rev !out
 
+module FeasTbl = Memo.Lru (Memo.Fkey)
+
+let feas_cache : bool FeasTbl.t = FeasTbl.create 32768
+
+(* The recursion itself is memoized (not just the entry point), so shared
+   subproblems across queries — e.g. the pairwise overlap tests of
+   [Disjoint] or the entailment checks of [Gist] — reuse each other's
+   intermediate results. *)
 let rec feasible steps (c : Clause.t) =
   if steps > max_reduction_steps then
     failwith "Omega.Solve.is_feasible: did not terminate";
+  Memo.counters.feas_queries <- Memo.counters.feas_queries + 1;
+  if not (Memo.enabled ()) then feasible_body steps c
+  else begin
+    let key = Memo.feas_key c in
+    match FeasTbl.find_opt feas_cache key with
+    | Some v ->
+        Memo.counters.feas_hits <- Memo.counters.feas_hits + 1;
+        v
+    | None ->
+        let v = feasible_body steps c in
+        FeasTbl.add feas_cache key v;
+        v
+  end
+
+and feasible_body steps (c : Clause.t) =
   match Clause.normalize c with
   | None -> false
   | Some c ->

@@ -9,7 +9,11 @@
     - the {e dark shadow} adds [bα − aβ ≥ (a−1)(b−1)] — an
       under-approximation that is exact when [a = 1] or [b = 1];
     - {e splinters} cover the gap: clauses that still contain [v] but pin
-      it with an equality, so it can be eliminated exactly. *)
+      it with an equality, so it can be eliminated exactly.
+
+    {!eliminate} and the feasibility recursion are memoized through the
+    bounded LRU tables of {!Memo} (both are pure, so entries are never
+    invalidated); disable globally with [Memo.set_enabled false]. *)
 
 (** How to treat the integer-projection gap. *)
 type mode =

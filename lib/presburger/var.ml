@@ -7,6 +7,8 @@ let fresh_wild () =
   incr counter;
   Wild !counter
 
+let reset_fresh () = counter := 0
+
 let is_wild = function Wild _ -> true | Named _ -> false
 
 let compare a b =
@@ -17,6 +19,11 @@ let compare a b =
   | Wild i, Wild j -> Int.compare i j
 
 let equal a b = compare a b = 0
+
+let hash = function
+  | Named s -> Hashtbl.hash s
+  | Wild i -> (i * 65599) lxor 0x5757
+
 let to_string = function Named s -> s | Wild i -> "$" ^ string_of_int i
 let pp fmt v = Format.pp_print_string fmt (to_string v)
 

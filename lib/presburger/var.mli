@@ -14,9 +14,16 @@ val named : string -> t
 (** [fresh_wild ()] allocates a globally unique wildcard. *)
 val fresh_wild : unit -> t
 
+(** [reset_fresh ()] rewinds the wildcard counter to 0. {b Test-only}: it
+    makes runs deterministic and order-independent; resetting while clauses
+    from before the reset are still alive can identify unrelated wildcards
+    if such clauses are later conjoined. *)
+val reset_fresh : unit -> unit
+
 val is_wild : t -> bool
 val compare : t -> t -> int
 val equal : t -> t -> bool
+val hash : t -> int
 
 (** Unique printable name: the name itself, or ["$k"] for wildcards. *)
 val to_string : t -> string

@@ -15,4 +15,6 @@ let () =
       Test_simulate.suite;
       Test_paper_section3.suite;
       Test_crosscut.suite;
+      Test_differential.suite;
+      Test_props.suite;
     ]

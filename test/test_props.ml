@@ -1,0 +1,196 @@
+(* Property-based tests (QCheck under Alcotest): algebraic laws of the
+   arithmetic stack — Zint ring and Euclidean structure, Qnum fields,
+   Qpoly ring laws and the periodicity of mod-atoms — plus the interning
+   invariants of hash-consed affine forms. *)
+
+module A = Presburger.Affine
+module V = Presburger.Var
+
+let zint_gen =
+  (* mix small ints (edge cases) with large ones crossing the 2^15 limb
+     boundary several times *)
+  QCheck.Gen.(
+    oneof
+      [
+        map Zint.of_int (int_range (-20) 20);
+        map Zint.of_int int;
+        map2
+          (fun a b -> Zint.mul (Zint.of_int a) (Zint.of_int b))
+          int int;
+      ])
+
+let zint =
+  QCheck.make zint_gen ~print:Zint.to_string
+
+let nonzero_zint =
+  QCheck.make
+    (QCheck.Gen.map
+       (fun z -> if Zint.is_zero z then Zint.one else z)
+       zint_gen)
+    ~print:Zint.to_string
+
+let qnum =
+  QCheck.make
+    (QCheck.Gen.map2
+       (fun n d -> Qnum.make n (if Zint.is_zero d then Zint.one else d))
+       zint_gen zint_gen)
+    ~print:Qnum.to_string
+
+(* small polynomials over x, y *)
+let qpoly_gen =
+  QCheck.Gen.(
+    let base =
+      oneof
+        [
+          return (Qpoly.var "x");
+          return (Qpoly.var "y");
+          map (fun n -> Qpoly.of_int n) (int_range (-5) 5);
+        ]
+    in
+    let rec build n =
+      if n <= 0 then base
+      else
+        oneof
+          [
+            base;
+            map2 Qpoly.add (build (n - 1)) (build (n - 1));
+            map2 Qpoly.mul (build (n - 1)) (build (n - 1));
+          ]
+    in
+    build 3)
+
+let qpoly = QCheck.make qpoly_gen ~print:Qpoly.to_string
+
+(* small affine forms over named variables *)
+let affine_gen =
+  QCheck.Gen.(
+    map2
+      (fun coeffs c ->
+        List.fold_left A.add (A.of_int c)
+          (List.mapi
+             (fun i k ->
+               A.term (Zint.of_int k)
+                 (V.named (Printf.sprintf "v%d" (i mod 3))))
+             coeffs))
+      (list_size (int_range 0 4) (int_range (-4) 4))
+      (int_range (-10) 10))
+
+let affine = QCheck.make affine_gen ~print:A.to_string
+
+let t prop = QCheck_alcotest.to_alcotest prop
+
+let zint_props =
+  [
+    QCheck.Test.make ~name:"zint add commutative" ~count:500
+      (QCheck.pair zint zint) (fun (a, b) ->
+        Zint.equal (Zint.add a b) (Zint.add b a));
+    QCheck.Test.make ~name:"zint add associative" ~count:500
+      (QCheck.triple zint zint zint) (fun (a, b, c) ->
+        Zint.equal (Zint.add (Zint.add a b) c) (Zint.add a (Zint.add b c)));
+    QCheck.Test.make ~name:"zint mul distributes" ~count:500
+      (QCheck.triple zint zint zint) (fun (a, b, c) ->
+        Zint.equal
+          (Zint.mul a (Zint.add b c))
+          (Zint.add (Zint.mul a b) (Zint.mul a c)));
+    QCheck.Test.make ~name:"zint sub inverse" ~count:500
+      (QCheck.pair zint zint) (fun (a, b) ->
+        Zint.equal (Zint.add (Zint.sub a b) b) a);
+    QCheck.Test.make ~name:"zint fdiv_rem reconstructs" ~count:500
+      (QCheck.pair zint nonzero_zint) (fun (a, b) ->
+        let q, r = Zint.fdiv_rem a b in
+        Zint.equal (Zint.add (Zint.mul q b) r) a
+        && Zint.sign r * Zint.sign b >= 0
+        && Zint.compare (Zint.abs r) (Zint.abs b) < 0);
+    QCheck.Test.make ~name:"zint gcd divides both" ~count:500
+      (QCheck.pair zint zint) (fun (a, b) ->
+        let g = Zint.gcd a b in
+        if Zint.is_zero g then Zint.is_zero a && Zint.is_zero b
+        else Zint.divides g a && Zint.divides g b);
+    QCheck.Test.make ~name:"zint gcd_ext is Bezout" ~count:500
+      (QCheck.pair zint zint) (fun (a, b) ->
+        let g, u, v = Zint.gcd_ext a b in
+        Zint.equal g (Zint.add (Zint.mul u a) (Zint.mul v b)));
+    QCheck.Test.make ~name:"zint hash respects equality" ~count:500
+      (QCheck.pair zint zint) (fun (a, b) ->
+        (not (Zint.equal a b)) || Zint.hash a = Zint.hash b);
+  ]
+
+let qnum_props =
+  [
+    QCheck.Test.make ~name:"qnum add commutative" ~count:500
+      (QCheck.pair qnum qnum) (fun (a, b) ->
+        Qnum.equal (Qnum.add a b) (Qnum.add b a));
+    QCheck.Test.make ~name:"qnum mul distributes" ~count:500
+      (QCheck.triple qnum qnum qnum) (fun (a, b, c) ->
+        Qnum.equal
+          (Qnum.mul a (Qnum.add b c))
+          (Qnum.add (Qnum.mul a b) (Qnum.mul a c)));
+    QCheck.Test.make ~name:"qnum inv is inverse" ~count:500 qnum (fun a ->
+        Qnum.is_zero a || Qnum.equal (Qnum.mul a (Qnum.inv a)) Qnum.one);
+    QCheck.Test.make ~name:"qnum floor <= x < floor+1" ~count:500 qnum
+      (fun a ->
+        let f = Qnum.of_zint (Qnum.floor a) in
+        Qnum.compare f a <= 0
+        && Qnum.compare a (Qnum.add f Qnum.one) < 0);
+  ]
+
+let qpoly_props =
+  [
+    QCheck.Test.make ~name:"qpoly add commutative" ~count:200
+      (QCheck.pair qpoly qpoly) (fun (p, q) ->
+        Qpoly.equal (Qpoly.add p q) (Qpoly.add q p));
+    QCheck.Test.make ~name:"qpoly mul commutative" ~count:200
+      (QCheck.pair qpoly qpoly) (fun (p, q) ->
+        Qpoly.equal (Qpoly.mul p q) (Qpoly.mul q p));
+    QCheck.Test.make ~name:"qpoly mul distributes" ~count:100
+      (QCheck.triple qpoly qpoly qpoly) (fun (p, q, r) ->
+        Qpoly.equal
+          (Qpoly.mul p (Qpoly.add q r))
+          (Qpoly.add (Qpoly.mul p q) (Qpoly.mul p r)));
+    QCheck.Test.make ~name:"qpoly eval is a ring hom" ~count:200
+      (QCheck.pair qpoly qpoly) (fun (p, q) ->
+        let env name =
+          Zint.of_int (match name with "x" -> 3 | "y" -> -2 | _ -> 1)
+        in
+        Qnum.equal
+          (Qpoly.eval env (Qpoly.mul p q))
+          (Qnum.mul (Qpoly.eval env p) (Qpoly.eval env q)));
+    (* (e mod m) atoms are m-periodic and bounded in [0, m) *)
+    QCheck.Test.make ~name:"mod atom periodicity" ~count:200
+      (QCheck.pair (QCheck.make (QCheck.Gen.int_range 2 7))
+         (QCheck.make (QCheck.Gen.int_range (-30) 30)))
+      (fun (m, x0) ->
+        let lin = Qpoly.Lin.var "x" in
+        let zm = Zint.of_int m in
+        match Qpoly.Atom.modulo lin zm with
+        | `Const _ -> false (* x is not constant *)
+        | `Atom a ->
+            let p = Qpoly.atom a in
+            let at x = Qpoly.eval (fun _ -> Zint.of_int x) p in
+            let v = at x0 in
+            Qnum.equal v (at (x0 + m))
+            && Qnum.equal v (at (x0 - (3 * m)))
+            && Qnum.sign v >= 0
+            && Qnum.compare v (Qnum.of_int m) < 0);
+  ]
+
+let interning_props =
+  [
+    (* structurally equal terms intern to the same physical value *)
+    QCheck.Test.make ~name:"equal affines intern physically equal"
+      ~count:500 (QCheck.pair affine affine) (fun (a, b) ->
+        let ia = A.intern a and ib = A.intern b in
+        if A.equal a b then ia == ib else not (ia == ib));
+    QCheck.Test.make ~name:"interning preserves structure" ~count:500 affine
+      (fun a -> A.equal a (A.intern a) && A.compare a (A.intern a) = 0);
+    QCheck.Test.make ~name:"equal affines share a hash" ~count:500
+      (QCheck.pair affine affine) (fun (a, b) ->
+        (not (A.equal a b)) || A.hash a = A.hash b);
+    QCheck.Test.make ~name:"affine add commutative modulo interning"
+      ~count:500 (QCheck.pair affine affine) (fun (a, b) ->
+        A.intern (A.add a b) == A.intern (A.add b a));
+  ]
+
+let suite =
+  ( "props",
+    List.map t (zint_props @ qnum_props @ qpoly_props @ interning_props) )
