@@ -335,9 +335,170 @@ let report () =
   Printf.printf "%s\n\n" line
 
 (* ------------------------------------------------------------------ *)
+(* Reproduction checks: every paper-experiment value from EXPERIMENTS.md
+   recomputed and compared byte-for-byte. `--check` turns a drift in any
+   measured value (symbolic string or evaluated point) into a nonzero
+   exit, which is what the CI bench-smoke step gates on.                 *)
+
+let check_results () : (string * string * string) list =
+  let sym value = Counting.Value.to_string value in
+  let e1 = E.count ~vars:[ "i"; "j"; "kk" ] example1_formula in
+  let e1_tawbi =
+    E.count ~opts:Counting.Baselines.tawbi_opts ~vars:[ "i"; "j"; "kk" ]
+      example1_formula
+  in
+  let e2 = E.count ~vars:[ "i"; "j"; "kk" ] example2_formula in
+  let e5a = L.touched_count sor ~array:"a" in
+  let e5b = L.cache_line_count sor ~array:"a" ~words:16 ~base:1 in
+  let e6 =
+    Counting.Merge.merge_residues (E.count ~vars:[ "i"; "j" ] example6_formula)
+  in
+  let beta, cl = fig1_clause () in
+  let over = Omega.Solve.project Omega.Solve.Exact_overlapping [ beta ] cl in
+  let beta2, cl2 = fig1_clause () in
+  let disj = Omega.Solve.project Omega.Solve.Exact_disjoint [ beta2 ] cl2 in
+  let a3 kk =
+    let boxes = overlap_boxes kk in
+    let _, summations =
+      Counting.Baselines.fst91_sum ~vars:[ "i" ] boxes Qpoly.one
+    in
+    (summations, List.length (Omega.Disjoint.to_disjoint boxes))
+  in
+  [
+    ( "E0 count 1..10",
+      "(10)",
+      sym (run_query "count { i : 1 <= i <= 10 }") );
+    ( "E0 count 1..n",
+      "(sum : n - 1 >= 0 : n)",
+      sym (run_query "count { i : 1 <= i <= n }") );
+    ( "E0 count square",
+      "(sum : n - 1 >= 0 : n^2)",
+      sym (run_query "count { i, j : 1 <= i <= n and 1 <= j <= n }") );
+    ( "E0 count triangular",
+      "(sum : n - 2 >= 0 : 1/2*n^2 - 1/2*n)",
+      sym (run_query "count { i, j : 1 <= i < j <= n }") );
+    ( "E0b guarded at (5,3)",
+      "6",
+      string_of_int (eval (run_query pitfall) [ ("n", 5); ("m", 3) ]) );
+    ("E1 pieces flexible", "2", string_of_int (List.length e1));
+    ("E1 pieces fixed-order", "3", string_of_int (List.length e1_tawbi));
+    ( "E1 value at (10,7)",
+      "224",
+      string_of_int (eval e1 [ ("n", 10); ("m", 7) ]) );
+    ("E2 at n=20", "104", string_of_int (eval e2 [ ("n", 20) ]));
+    ("E2 pieces", "2", string_of_int (List.length e2));
+    ( "E3 symbolic",
+      "(sum : n - 1 >= 0 : n^2)",
+      sym (E.count ~vars:[ "i"; "j" ] example3_formula) );
+    ("E4 symbolic", "(25)", sym (E.count ~vars:[ "x" ] example4_formula));
+    ("E5a symbolic", "(sum : N - 3 >= 0 : N^2 - 4)", sym e5a);
+    ("E5a at N=500", "249996", string_of_int (eval e5a [ ("N", 500) ]));
+    ("E5b at N=500", "16000", string_of_int (eval e5b [ ("N", 500) ]));
+    ("E5b at N=17", "32", string_of_int (eval e5b [ ("N", 17) ]));
+    ( "E6 merged symbolic",
+      "(sum : n - 1 >= 0 : 3/4*n^2 - 1/4*(n mod 2) + 1/2*n)",
+      sym e6 );
+    ( "S26 clause count",
+      "12",
+      string_of_int (List.length (Omega.Dnf.of_formula section26_formula)) );
+    ( "S33 proc-0 ownership at n=1025",
+      "129",
+      string_of_int
+        (eval
+           (Loopapps.Hpf.ownership_count
+              { Loopapps.Hpf.procs = 8; block = 4 }
+              ~proc:0)
+           [ ("n", 1025) ]) );
+    ("F1 overlapping clauses", "3", string_of_int (List.length over));
+    ("F1 disjoint clauses", "3", string_of_int (List.length disj));
+    ( "F1 disjointness",
+      "true",
+      string_of_bool (Omega.Disjoint.pairwise_disjoint disj) );
+    ( "A3 FST91 summations k=2..5",
+      "3,7,15,31",
+      String.concat ","
+        (List.map (fun kk -> string_of_int (fst (a3 kk))) [ 2; 3; 4; 5 ]) );
+    ( "A3 disjoint clauses k=2..5",
+      "2,3,3,4",
+      String.concat ","
+        (List.map (fun kk -> string_of_int (snd (a3 kk))) [ 2; 3; 4; 5 ]) );
+  ]
+
+let run_checks () =
+  let rows = check_results () in
+  let failures =
+    List.filter (fun (_, expected, actual) -> expected <> actual) rows
+  in
+  Printf.printf "Reproduction check: %d/%d values match EXPERIMENTS.md\n"
+    (List.length rows - List.length failures)
+    (List.length rows);
+  List.iter
+    (fun (label, expected, actual) ->
+      Printf.printf "  MISMATCH %-28s expected %s, measured %s\n" label
+        expected actual)
+    failures;
+  failures = []
+
+(* ------------------------------------------------------------------ *)
+(* Micro-suite: the arithmetic substrate in isolation. Values are kept
+   in the native-int range on purpose — these loops measure the cost of
+   the common case (constraint coefficients and quasi-polynomial
+   rationals are almost always word-sized), which is exactly what the
+   small-integer fast path targets.                                     *)
+
+let micro_iters = 20_000
+
+let micro_zint () =
+  let acc = ref Zint.zero in
+  for i = 1 to micro_iters do
+    let a = Zint.of_int ((i mod 97) - 48) in
+    let b = Zint.of_int (((i * 7) mod 89) + 1) in
+    acc := Zint.add !acc (Zint.mul a b);
+    acc := Zint.sub !acc (Zint.gcd a b);
+    let q, r = Zint.fdiv_rem !acc b in
+    if Zint.compare q r > 0 then acc := Zint.add !acc Zint.one;
+    ignore (Zint.hash !acc)
+  done;
+  ignore !acc
+
+let micro_qnum () =
+  let acc = ref Qnum.zero in
+  for i = 1 to micro_iters / 4 do
+    (* integral fast path ... *)
+    acc := Qnum.add !acc (Qnum.of_int (i mod 1000));
+    (* ... and genuine fractions with small denominators *)
+    acc := Qnum.add !acc (Qnum.of_ints i ((i mod 7) + 1));
+    acc := Qnum.mul !acc Qnum.one
+  done;
+  ignore (Qnum.compare !acc Qnum.zero)
+
+let micro_affine () =
+  let x = v "x" and y = v "y" in
+  let acc = ref A.zero in
+  for i = 1 to micro_iters / 4 do
+    let t =
+      A.add
+        (A.scale (Zint.of_int ((i mod 5) - 2)) x)
+        (A.add_const (A.scale (Zint.of_int ((i mod 3) - 1)) y) (Zint.of_int i))
+    in
+    acc := A.add !acc t;
+    ignore (A.hash t);
+    if A.equal t !acc then acc := A.zero
+  done;
+  ignore (A.intern !acc)
+
+let micro_experiments : (string * (unit -> unit)) list =
+  [
+    ("micro_zint_small", micro_zint);
+    ("micro_qnum_small", micro_qnum);
+    ("micro_affine_small", micro_affine);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Instrumented runs: one JSON line per experiment (cache hit/miss,
-   per-phase wall time, engine counters), then a memoization-ablation
-   line comparing executed eliminations with the memo on and off.       *)
+   per-phase wall time, GC allocation deltas, engine counters), then a
+   memoization-ablation line comparing executed eliminations with the
+   memo on and off.                                                     *)
 
 let instr_experiments : (string * (unit -> unit)) list =
   [
@@ -351,6 +512,12 @@ let instr_experiments : (string * (unit -> unit)) list =
           (Counting.Merge.merge_residues
              (E.count ~vars:[ "i"; "j" ] example6_formula)) );
     ("S26_simplify", fun () -> ignore (Omega.Dnf.of_formula section26_formula));
+    ( "F1_fig1_splinter",
+      fun () ->
+        let beta, cl = fig1_clause () in
+        ignore (Omega.Solve.project Omega.Solve.Exact_overlapping [ beta ] cl);
+        let beta2, cl2 = fig1_clause () in
+        ignore (Omega.Solve.project Omega.Solve.Exact_disjoint [ beta2 ] cl2) );
     ( "S33_hpf_ownership",
       fun () ->
         ignore
@@ -359,18 +526,41 @@ let instr_experiments : (string * (unit -> unit)) list =
              ~proc:0) );
   ]
 
-let instr_report () =
+let instr_report emit =
   Printf.printf "Instrumented runs (cold caches, one JSON line each):\n";
+  (* One throwaway run absorbs process cold-start (code paging, weak-table
+     growth, lazy initializers) so the first measured experiment is not
+     charged for it; the memo tables are cleared again before each
+     measured run, which is what "cold caches" promises. *)
+  (match instr_experiments with
+  | (_, f) :: _ ->
+      f ();
+      Omega.Memo.clear_all ()
+  | [] -> ());
   let on_elims =
     (* the instrumented run below is itself a cold memo-on run, so its
        eliminations counter doubles as the ablation "on" figure *)
     List.map
       (fun (label, f) ->
-        Omega.Memo.clear_all ();
-        let (), r = E.with_instr ~label f in
-        Printf.printf "%s\n" (Counting.Instr.to_json r);
+        (* Each experiment is deterministic, so every rep reports the same
+           counters and allocation words; only wall time is noisy at the
+           sub-millisecond scale.  Run a few cold-cache reps and keep the
+           fastest, the standard best-of-k defence against scheduler
+           jitter. *)
+        let reps = 5 in
+        let best = ref None in
+        for _ = 1 to reps do
+          Omega.Memo.clear_all ();
+          let (), r = E.with_instr ~label f in
+          match !best with
+          | Some b when b.Counting.Instr.wall_s <= r.Counting.Instr.wall_s ->
+              ()
+          | _ -> best := Some r
+        done;
+        let r = Option.get !best in
+        emit (Counting.Instr.to_json r);
         (label, r.Counting.Instr.memo.Omega.Memo.eliminations))
-      instr_experiments
+      (instr_experiments @ micro_experiments)
   in
   (* Memo ablation: executed elimination bodies with the tables off vs
      on (cold), per experiment.  E4 and S33 are excluded: their
@@ -382,7 +572,8 @@ let instr_report () =
   let ablatable =
     List.filter
       (fun (label, _) ->
-        label <> "E4_example4" && label <> "S33_hpf_ownership")
+        label <> "E4_example4" && label <> "S33_hpf_ownership"
+        && label <> "F1_fig1_splinter")
       instr_experiments
   in
   Omega.Memo.set_enabled false;
@@ -397,9 +588,10 @@ let instr_report () =
         if off = 0 then 0.
         else 100. *. float_of_int (off - on) /. float_of_int off
       in
-      Printf.printf
-        "{\"label\":\"memo_ablation_%s\",\"eliminations_off\":%d,\"eliminations_on\":%d,\"reduction_pct\":%.1f}\n"
-        label off on reduction_pct)
+      emit
+        (Printf.sprintf
+           "{\"label\":\"memo_ablation_%s\",\"eliminations_off\":%d,\"eliminations_on\":%d,\"reduction_pct\":%.1f}"
+           label off on reduction_pct))
     ablatable;
   Omega.Memo.set_enabled true
 
@@ -472,12 +664,37 @@ let tests =
              in
              E.sum ~opts:{ E.default with strategy = E.Upper } ~vars:[ "i" ] f
                (Qpoly.var "i")));
+      Test.make ~name:"micro_zint_small" (stage micro_zint);
+      Test.make ~name:"micro_qnum_small" (stage micro_qnum);
+      Test.make ~name:"micro_affine_small" (stage micro_affine);
     ]
 
 let () =
-  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let check = List.mem "--check" argv in
+  let json_file =
+    let rec find = function
+      | "--json" :: file :: _ -> Some file
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  let json_oc = Option.map open_out json_file in
+  let emit line =
+    Printf.printf "%s\n" line;
+    match json_oc with
+    | Some oc ->
+        output_string oc line;
+        output_char oc '\n'
+    | None -> ()
+  in
   report ();
-  instr_report ();
+  instr_report emit;
+  Option.iter close_out json_oc;
+  let checks_ok = if check then run_checks () else true in
+  if not checks_ok then exit 1;
   if quick then exit 0;
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]

@@ -109,8 +109,8 @@ let () =
       ("--no-merge", Arg.Clear merge, "  do not merge residue classes");
       ( "--stats",
         Arg.Set stats,
-        "  print phase timings and memo counters (plus a JSON line) to \
-         stderr" );
+        "  print phase timings, memo counters, and Gc allocation words \
+         (plus a JSON line) to stderr" );
       ( "--no-memo",
         Arg.Unit (fun () -> Omega.Memo.set_enabled false),
         "  disable solver memoization" );

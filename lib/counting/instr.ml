@@ -43,20 +43,42 @@ type report = {
   phases : (string * (float * int)) list;
   memo : Omega.Memo.counters;
   counts : (string * int) list;
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
 }
 
 (* [collect ~label f] runs [f] with fresh phase timers and a memo-counter
    baseline, and pairs its result with the deltas. Nesting is not
    supported (the phase table is global); memo *tables* are left alone,
-   so a collected run still benefits from earlier warm-up. *)
+   so a collected run still benefits from earlier warm-up. Allocation
+   deltas come from [Gc.quick_stat] (no heap walk), so sampling them
+   costs nothing measurable against the runs being measured. *)
 let collect ?(label = "run") ?(counts = fun () -> []) f =
   reset_phases ();
   let m0 = Omega.Memo.snapshot () in
+  let g0 = Gc.quick_stat () in
+  (* [Gc.minor_words] reads the allocation pointer, so the minor delta is
+     word-exact; [quick_stat]'s minor_words only advances at minor
+     collections (one-heap granularity on OCaml 5). *)
+  let mw0 = Gc.minor_words () in
   let t0 = now () in
   let x = f () in
   let wall_s = now () -. t0 in
+  let mw1 = Gc.minor_words () in
+  let g1 = Gc.quick_stat () in
   let memo = Omega.Memo.(diff (snapshot ()) m0) in
-  (x, { label; wall_s; phases = phase_fields (); memo; counts = counts () })
+  ( x,
+    {
+      label;
+      wall_s;
+      phases = phase_fields ();
+      memo;
+      counts = counts ();
+      minor_words = mw1 -. mw0;
+      promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    } )
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
@@ -95,6 +117,10 @@ let to_json r =
       Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v))
     (Omega.Memo.counters_to_fields r.memo);
   Buffer.add_string b "}";
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"gc\":{\"minor_words\":%.0f,\"promoted_words\":%.0f,\"major_words\":%.0f}"
+       r.minor_words r.promoted_words r.major_words);
   if r.counts <> [] then begin
     Buffer.add_string b ",\"engine\":{";
     List.iteri
@@ -128,5 +154,7 @@ let pp fmt r =
     (hit_rate m.gist_hits m.gist_queries);
   Format.fprintf fmt "  eliminations %d, evictions %d@," m.eliminations
     m.evictions;
+  Format.fprintf fmt "  alloc  %.0f minor words, %.0f promoted, %.0f major@,"
+    r.minor_words r.promoted_words r.major_words;
   List.iter (fun (name, v) -> Format.fprintf fmt "  %-12s %d@," name v) r.counts;
   Format.fprintf fmt "@]"

@@ -22,16 +22,19 @@ type report = {
   phases : (string * (float * int)) list;
   memo : Omega.Memo.counters;  (** deltas over the measured run *)
   counts : (string * int) list;  (** extra counters, e.g. engine stats *)
+  minor_words : float;  (** words allocated on the minor heap *)
+  promoted_words : float;  (** words promoted minor → major *)
+  major_words : float;  (** words allocated directly on the major heap *)
 }
 
 (** [collect ?label ?counts f] measures [f]: fresh phase table, memo
-    counters deltas, wall time; [counts] is sampled after [f] returns.
-    Not reentrant. *)
+    counters deltas, wall time, and [Gc.quick_stat] allocation deltas;
+    [counts] is sampled after [f] returns. Not reentrant. *)
 val collect :
   ?label:string -> ?counts:(unit -> (string * int) list) -> (unit -> 'a) -> 'a * report
 
 (** One-line JSON object:
-    [{"label":…,"wall_s":…,"phases":{…},"memo":{…},"engine":{…}}]. *)
+    [{"label":…,"wall_s":…,"phases":{…},"memo":{…},"gc":{…},"engine":{…}}]. *)
 val to_json : report -> string
 
 val pp : Format.formatter -> report -> unit

@@ -45,9 +45,11 @@ let subst c v e =
 (* Canonical sign for an equality: make the leading (smallest-variable)
    coefficient positive so that e = 0 and -e = 0 compare equal. *)
 let canon_eq e =
-  match A.vars e with
-  | [] -> e
-  | v :: _ -> if Zint.sign (A.coeff e v) < 0 then A.neg e else e
+  (* A.fold visits variables in increasing order, so the first coefficient
+     seen is the leading one — no need to materialize the variable list. *)
+  match A.fold (fun _ c acc -> match acc with None -> Some c | some -> some) e None with
+  | None -> e
+  | Some c -> if Zint.sign c < 0 then A.neg e else e
 
 exception Contradiction
 

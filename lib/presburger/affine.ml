@@ -63,9 +63,11 @@ let sub a b = add a (neg b)
 
 let scale c a =
   if Zint.is_zero c then zero
+  else if Zint.is_one c then a
   else mk (Var.Map.map (Zint.mul c) a.coeffs) (Zint.mul c a.const)
 
-let add_const a c = mk a.coeffs (Zint.add a.const c)
+let add_const a c =
+  if Zint.is_zero c then a else mk a.coeffs (Zint.add a.const c)
 let coeff a v = try Var.Map.find v a.coeffs with Not_found -> Zint.zero
 let constant a = a.const
 let vars a = List.map fst (Var.Map.bindings a.coeffs)
@@ -81,9 +83,11 @@ let subst a v r =
   else add (mk (Var.Map.remove v a.coeffs) a.const) (scale c r)
 
 let divexact a c =
-  mk
-    (Var.Map.map (fun x -> Zint.divexact x c) a.coeffs)
-    (Zint.divexact a.const c)
+  if Zint.is_one c then a
+  else
+    mk
+      (Var.Map.map (fun x -> Zint.divexact x c) a.coeffs)
+      (Zint.divexact a.const c)
 
 let eval env a =
   Var.Map.fold

@@ -30,6 +30,7 @@ module Lin = struct
 
   let scale q a =
     if Qnum.is_zero q then zero
+    else if Qnum.equal q Qnum.one then a
     else { coeffs = SMap.map (Qnum.mul q) a.coeffs; const = Qnum.mul q a.const }
 
   let coeff a v = try SMap.find v a.coeffs with Not_found -> Qnum.zero
@@ -190,7 +191,9 @@ let neg (a : t) : t = MMap.map Qnum.neg a
 let sub a b = add a (neg b)
 
 let scale q (a : t) : t =
-  if Qnum.is_zero q then zero else MMap.map (Qnum.mul q) a
+  if Qnum.is_zero q then zero
+  else if Qnum.equal q Qnum.one then a
+  else MMap.map (Qnum.mul q) a
 
 let mul (a : t) (b : t) : t =
   MMap.fold

@@ -1,20 +1,59 @@
-(* Arbitrary-precision integers, sign-magnitude over base-2^15 limbs.
+(* Arbitrary-precision integers with a small-integer fast path.
+
+   The representation is two-constructor, zarith-style:
+
+     Small n                      -- any value representable as a native
+                                     63-bit int (including min_int)
+     Big { sign; mag }            -- sign-magnitude, base-2^15 limbs
+
+   with the canonicalization invariant that [Big] is NEVER used for a
+   value in the native range: every operation that could shrink a result
+   demotes it back to [Small] (see [of_big]). The invariant is what makes
+   [equal]/[compare]/[hash]/[to_int] O(1) constructor dispatches, and it
+   is enforced property-style by the test suite ([repr_canonical]).
+
+   Arithmetic on two [Small]s runs on native ints with explicit overflow
+   checks (sign-bit tricks for add/sub, a magnitude guard for mul) and
+   promotes to the limb path only when a check fires. Counting workloads
+   spend virtually all their time on word-sized coefficients, so the limb
+   machinery below is cold; it is kept byte-identical in behaviour to the
+   pre-fast-path implementation.
 
    Base 2^15 keeps every intermediate product comfortably inside a native
    63-bit int (limb*limb <= 2^30), which lets the schoolbook and Knuth-D
    algorithms below use plain [int] arithmetic with no overflow analysis
-   beyond that bound. Counting workloads involve numbers of at most a few
-   hundred bits, so the smaller base costs nothing measurable. *)
+   beyond that bound. *)
 
 let bits = 15
 let base = 1 lsl bits
 let mask = base - 1
 
-type t = { sign : int; mag : int array }
-(* Invariants: sign ∈ {-1,0,1}; sign = 0 iff mag = [||]; limbs are
-   little-endian in [0, base); the most significant limb is nonzero. *)
+type big = { sign : int; mag : int array }
+(* Invariants: sign ∈ {-1,1} (a zero magnitude is always [Small 0]);
+   limbs are little-endian in [0, base); the most significant limb is
+   nonzero; the value is outside [min_int, max_int]. *)
 
-let zero = { sign = 0; mag = [||] }
+type t = Small of int | Big of big
+
+(* [Small] is a one-field block, so every fast-path result still costs a
+   two-word allocation. Counting workloads churn overwhelmingly on tiny
+   coefficients (-1, 0, 1, small strides and constants), so results in a
+   fixed window come from this table of shared immutable blocks instead —
+   the common case allocates nothing at all. *)
+let cache_min = -256
+let cache_max = 1024
+let cache = Array.init (cache_max - cache_min + 1) (fun i -> Small (i + cache_min))
+
+let small n =
+  if n >= cache_min && n <= cache_max then Array.unsafe_get cache (n - cache_min)
+  else Small n
+
+let zero = small 0
+let one = small 1
+let two = small 2
+let minus_one = small (-1)
+let ten = small 10
+let of_int n = small n
 
 (* Trim leading (most-significant) zero limbs. *)
 let trim mag =
@@ -23,30 +62,22 @@ let trim mag =
   let t = top (n - 1) in
   if t < 0 then [||] else if t = n - 1 then mag else Array.sub mag 0 (t + 1)
 
-let of_mag sign mag =
-  let mag = trim mag in
-  if Array.length mag = 0 then zero else { sign; mag }
+(* Little-endian limbs of |n| for n <> 0 (min_int-safe: accumulates on a
+   nonpositive n so the negation never overflows). *)
+let mag_of_int n =
+  let rec digits n acc =
+    if n = 0 then acc else digits (n / base) (-(n mod base) :: acc)
+  in
+  let ds = List.rev (digits (if n > 0 then -n else n) []) in
+  Array.of_list ds
 
-let of_int n =
-  if n = 0 then zero
-  else begin
-    let sign = if n > 0 then 1 else -1 in
-    (* Work with a nonpositive accumulator so [min_int] never overflows. *)
-    let rec digits n acc =
-      if n = 0 then acc else digits (n / base) (-(n mod base) :: acc)
-    in
-    let ds = List.rev (digits (if n > 0 then -n else n) []) in
-    { sign; mag = Array.of_list ds }
-  end
+let to_big = function
+  | Small 0 -> { sign = 0; mag = [||] }
+  | Small n -> { sign = (if n > 0 then 1 else -1); mag = mag_of_int n }
+  | Big b -> b
 
-let one = of_int 1
-let two = of_int 2
-let minus_one = of_int (-1)
-let ten = of_int 10
-let sign t = t.sign
-let is_zero t = t.sign = 0
-let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
-let abs t = if t.sign < 0 then neg t else t
+let max_int_mag = mag_of_int Stdlib.max_int
+let min_int_mag = mag_of_int Stdlib.min_int
 
 let compare_mag a b =
   let la = Array.length a and lb = Array.length b in
@@ -60,18 +91,94 @@ let compare_mag a b =
     go (la - 1)
   end
 
-let compare a b =
-  if a.sign <> b.sign then compare a.sign b.sign
-  else if a.sign >= 0 then compare_mag a.mag b.mag
-  else compare_mag b.mag a.mag
+(* Native value of a magnitude known to fit (|value| <= -min_int).
+   Accumulates -|value| so [min_int] itself never overflows. *)
+let int_of_mag sign mag =
+  let acc = ref 0 in
+  for i = Array.length mag - 1 downto 0 do
+    acc := (!acc * base) - mag.(i)
+  done;
+  if sign >= 0 then - !acc else !acc
 
-let equal a b = compare a b = 0
-let is_one t = equal t one
+(* Canonicalize a nonzero big: demote to [Small] when the value fits the
+   native range. The length check settles all but 5-limb magnitudes
+   (4 limbs = 60 bits always fit, 6 limbs = 76+ bits never do). *)
+let of_big ({ sign; mag } as b) =
+  let n = Array.length mag in
+  if n = 0 then zero
+  else if n <= 4 then small (int_of_mag sign mag)
+  else if n >= 6 then Big b
+  else if sign > 0 then
+    if compare_mag mag max_int_mag <= 0 then small (int_of_mag sign mag)
+    else Big b
+  else if compare_mag mag min_int_mag <= 0 then small (int_of_mag sign mag)
+  else Big b
+
+let mk_big sign mag = if Array.length mag = 0 then zero else of_big { sign; mag }
+
+(* Representation introspection, for the boundary test-suite. *)
+let is_small = function Small _ -> true | Big _ -> false
+
+let repr_canonical = function
+  | Small _ -> true
+  | Big { sign; mag } ->
+      (* a canonical Big is trimmed, signed, and out of native range *)
+      sign <> 0
+      && Array.length mag > 0
+      && mag.(Array.length mag - 1) <> 0
+      && compare_mag mag (if sign > 0 then max_int_mag else min_int_mag) > 0
+
+let sign = function Small n -> Stdlib.compare n 0 | Big b -> b.sign
+let is_zero = function Small 0 -> true | _ -> false
+let is_one = function Small 1 -> true | _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Small x, Small y -> Stdlib.compare x y
+  | Small _, Big b -> -b.sign
+  | Big b, Small _ -> b.sign
+  | Big x, Big y ->
+      if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+      else if x.sign >= 0 then compare_mag x.mag y.mag
+      else compare_mag y.mag x.mag
+
+let equal a b =
+  match (a, b) with
+  | Small x, Small y -> x = y
+  | Big x, Big y -> x.sign = y.sign && compare_mag x.mag y.mag = 0
+  | Small _, Big _ | Big _, Small _ -> false
+
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let hash t =
-  Array.fold_left (fun h limb -> (h * 65599) + limb) (t.sign + 1) t.mag
+(* The hash is a function of the VALUE, not the constructor: both arms
+   fold the base-2^15 limbs of |v| (LSB first) over the same mixing
+   formula, seeded by sign+1. Even a hypothetical non-canonical [Big]
+   holding a small-range value would therefore agree with its [Small]
+   twin — [equal a b] implies [hash a = hash b] by construction, which is
+   the invariant the interning and memo tables key on. *)
+let hash = function
+  | Small 0 -> 1
+  | Small n ->
+      let seed = if n > 0 then 2 else 0 in
+      (* walk a nonpositive accumulator so min_int never overflows *)
+      let rec go h n =
+        if n = 0 then h else go ((h * 65599) + -(n mod base)) (n / base)
+      in
+      go seed (if n > 0 then -n else n)
+  | Big b ->
+      Array.fold_left (fun h limb -> (h * 65599) + limb) (b.sign + 1) b.mag
+
+let neg = function
+  | Small n -> if n = Stdlib.min_int then Big { sign = 1; mag = min_int_mag } else small (-n)
+  | Big b -> of_big { b with sign = -b.sign }
+
+let abs = function
+  | Small n as t -> if n < 0 then neg t else t
+  | Big b as t -> if b.sign < 0 then of_big { b with sign = 1 } else t
+
+(* ------------------------------------------------------------------ *)
+(* Limb-path kernels (unchanged from the single-representation days)   *)
 
 let add_mag a b =
   let la = Array.length a and lb = Array.length b in
@@ -123,27 +230,65 @@ let mul_mag a b =
     trim r
   end
 
-let add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then { a with mag = add_mag a.mag b.mag }
+let add_big ba bb =
+  if ba.sign = 0 then of_big bb
+  else if bb.sign = 0 then of_big ba
+  else if ba.sign = bb.sign then mk_big ba.sign (add_mag ba.mag bb.mag)
   else begin
-    let c = compare_mag a.mag b.mag in
+    let c = compare_mag ba.mag bb.mag in
     if c = 0 then zero
-    else if c > 0 then of_mag a.sign (sub_mag a.mag b.mag)
-    else of_mag b.sign (sub_mag b.mag a.mag)
+    else if c > 0 then mk_big ba.sign (sub_mag ba.mag bb.mag)
+    else mk_big bb.sign (sub_mag bb.mag ba.mag)
   end
 
-let sub a b = add a (neg b)
+(* ------------------------------------------------------------------ *)
+(* Ring operations: native fast path, limb slow path                   *)
+
+let add a b =
+  match (a, b) with
+  | Small x, Small y ->
+      let s = x + y in
+      (* signed overflow iff both operands disagree in sign with the
+         wrapped sum *)
+      if (s lxor x) land (s lxor y) < 0 then add_big (to_big a) (to_big b)
+      else small s
+  | _ -> add_big (to_big a) (to_big b)
+
+let sub a b =
+  match (a, b) with
+  | Small x, Small y ->
+      let d = x - y in
+      if (x lxor y) land (x lxor d) < 0 then
+        add_big (to_big a) (to_big (neg b))
+      else small d
+  | _ ->
+      let bb = to_big b in
+      add_big (to_big a) { bb with sign = -bb.sign }
+
 let succ t = add t one
 let pred t = sub t one
 
-let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else { sign = a.sign * b.sign; mag = mul_mag a.mag b.mag }
+(* |x| < 2^31: the product of two such ints is < 2^62, inside the native
+   range (max_int = 2^62 - 1 only needs (2^31-1)^2 = 2^62 - 2^32 + 1). *)
+let half_range x = x > -0x8000_0000 && x < 0x8000_0000
 
-let mul_int a n = mul a (of_int n)
-let add_int a n = add a (of_int n)
+let mul_big ba bb =
+  if ba.sign = 0 || bb.sign = 0 then zero
+  else of_big { sign = ba.sign * bb.sign; mag = mul_mag ba.mag bb.mag }
+
+let mul a b =
+  match (a, b) with
+  | Small 0, _ | _, Small 0 -> zero
+  | Small 1, x | x, Small 1 -> x
+  | Small (-1), x | x, Small (-1) -> neg x
+  | Small x, Small y when half_range x && half_range y -> small (x * y)
+  | _ -> mul_big (to_big a) (to_big b)
+
+let mul_int a n = mul a (small n)
+let add_int a n = add a (small n)
+
+(* ------------------------------------------------------------------ *)
+(* Division                                                            *)
 
 (* Divide a magnitude by a single limb [d] (0 < d < base); returns
    (quotient magnitude, remainder limb). *)
@@ -262,37 +407,107 @@ let divmod_mag u v =
   end
 
 let tdiv_rem a b =
-  if b.sign = 0 then raise Division_by_zero;
-  let qm, rm = divmod_mag a.mag b.mag in
-  let q = of_mag (a.sign * b.sign) qm in
-  let r = of_mag a.sign rm in
-  (q, r)
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+      if x = Stdlib.min_int && y = -1 then
+        (* the lone Small/Small quotient that overflows: -min_int = 2^62 *)
+        (Big { sign = 1; mag = min_int_mag }, zero)
+      else (small (x / y), small (x mod y))
+  | _ ->
+      let ba = to_big a and bb = to_big b in
+      if bb.sign = 0 then raise Division_by_zero;
+      let qm, rm = divmod_mag ba.mag bb.mag in
+      (mk_big (ba.sign * bb.sign) qm, mk_big ba.sign rm)
 
-let tdiv a b = fst (tdiv_rem a b)
-let trem a b = snd (tdiv_rem a b)
+(* The derived division operators repeat the native fast path rather than
+   projecting [tdiv_rem]: on the hot path that skips allocating the
+   (quotient, remainder) tuple entirely. [min_int / -1] stays excluded —
+   its quotient overflows (and the division instruction traps on it in
+   native code) — and falls back to the limb path. *)
+
+let tdiv a b =
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y when not (x = Stdlib.min_int && y = -1) -> small (x / y)
+  | _ -> fst (tdiv_rem a b)
+
+let trem a b =
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y when not (x = Stdlib.min_int && y = -1) ->
+      small (x mod y)
+  | _ -> snd (tdiv_rem a b)
 
 let fdiv_rem a b =
-  let q, r = tdiv_rem a b in
-  if r.sign <> 0 && r.sign <> b.sign then (pred q, add r b) else (q, r)
+  match (a, b) with
+  | Small x, Small y when not (x = Stdlib.min_int && y = -1) ->
+      (* native floor adjustment: q-1 can only overflow when q = min_int,
+         which forces y = 1 and hence r = 0 (no adjustment) *)
+      let q = x / y and r = x mod y in
+      if r <> 0 && r < 0 <> (y < 0) then (small (q - 1), small (r + y))
+      else (small q, small r)
+  | _ ->
+      let q, r = tdiv_rem a b in
+      if sign r <> 0 && sign r <> sign b then (pred q, add r b) else (q, r)
 
-let fdiv a b = fst (fdiv_rem a b)
-let fmod a b = snd (fdiv_rem a b)
+let fdiv a b =
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y when not (x = Stdlib.min_int && y = -1) ->
+      let q = x / y and r = x mod y in
+      if r <> 0 && r < 0 <> (y < 0) then small (q - 1) else small q
+  | _ -> fst (fdiv_rem a b)
+
+let fmod a b =
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y when not (x = Stdlib.min_int && y = -1) ->
+      let r = x mod y in
+      if r <> 0 && r < 0 <> (y < 0) then small (r + y) else small r
+  | _ -> snd (fdiv_rem a b)
 
 let cdiv a b =
-  let q, r = tdiv_rem a b in
-  if r.sign <> 0 && r.sign = b.sign then succ q else q
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y when not (x = Stdlib.min_int && y = -1) ->
+      (* q + 1 cannot overflow: q = max_int forces y = 1 and hence r = 0 *)
+      let q = x / y and r = x mod y in
+      if r <> 0 && r < 0 = (y < 0) then small (q + 1) else small q
+  | _ ->
+      let q, r = tdiv_rem a b in
+      if sign r <> 0 && sign r = sign b then succ q else q
 
 let divides c e =
-  if c.sign = 0 then e.sign = 0 else is_zero (trem e c)
+  match (c, e) with
+  | Small 0, _ -> is_zero e
+  | Small c', Small e' when c' <> -1 -> e' mod c' = 0
+  | _ -> is_zero (trem e c)
 
 let divexact a b =
-  let q, r = tdiv_rem a b in
-  if not (is_zero r) then
-    invalid_arg "Zint.divexact: division is not exact";
-  q
+  match (a, b) with
+  | Small x, Small y when y <> 0 && not (x = Stdlib.min_int && y = -1) ->
+      if x mod y <> 0 then
+        invalid_arg "Zint.divexact: division is not exact";
+      small (x / y)
+  | _ ->
+      let q, r = tdiv_rem a b in
+      if not (is_zero r) then
+        invalid_arg "Zint.divexact: division is not exact";
+      q
 
-let rec gcd_aux a b = if is_zero b then a else gcd_aux b (trem a b)
-let gcd a b = gcd_aux (abs a) (abs b)
+(* ------------------------------------------------------------------ *)
+(* Number theory                                                       *)
+
+let gcd a b =
+  match (a, b) with
+  | Small x, Small y when x <> Stdlib.min_int && y <> Stdlib.min_int ->
+      (* native Euclid on magnitudes (abs is safe away from min_int) *)
+      let rec go a b = if b = 0 then a else go b (a mod b) in
+      small (go (Stdlib.abs x) (Stdlib.abs y))
+  | _ ->
+      let rec go a b = if is_zero b then a else go b (trem a b) in
+      go (abs a) (abs b)
 
 let lcm a b =
   if is_zero a || is_zero b then zero else abs (mul (tdiv a (gcd a b)) b)
@@ -307,7 +522,7 @@ let gcd_ext a b =
     end
   in
   let g, x, y = go a b one zero zero one in
-  if g.sign < 0 then (neg g, neg x, neg y) else (g, x, y)
+  if sign g < 0 then (neg g, neg x, neg y) else (g, x, y)
 
 let pow t n =
   if n < 0 then invalid_arg "Zint.pow: negative exponent";
@@ -320,48 +535,36 @@ let pow t n =
   in
   go one t n
 
-let max_int_z = lazy (of_int Stdlib.max_int)
-let min_int_z = lazy (of_int Stdlib.min_int)
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
 
-let to_int t =
-  if
-    compare t (Lazy.force max_int_z) > 0
-    || compare t (Lazy.force min_int_z) < 0
-  then None
-  else begin
-    (* Accumulate -|t|: prefixes of |t| are bounded by |t| <= -min_int,
-       so no intermediate overflows. *)
-    let acc = ref 0 in
-    for i = Array.length t.mag - 1 downto 0 do
-      acc := (!acc * base) - t.mag.(i)
-    done;
-    Some (if t.sign >= 0 then - !acc else !acc)
-  end
+(* By canonicality, [Big] is always out of native range. *)
+let to_int = function Small n -> Some n | Big _ -> None
 
-let to_int_exn t =
-  match to_int t with
-  | Some n -> n
-  | None -> failwith "Zint.to_int_exn: out of int range"
+let to_int_exn = function
+  | Small n -> n
+  | Big _ -> failwith "Zint.to_int_exn: out of int range"
 
-let to_string t =
-  if t.sign = 0 then "0"
-  else begin
-    let buf = Buffer.create 32 in
-    let rec chunks mag acc =
-      if Array.length mag = 0 then acc
-      else begin
-        let q, r = divmod_small mag 10000 in
-        chunks q (r :: acc)
-      end
-    in
-    (match chunks t.mag [] with
-    | [] -> assert false
-    | first :: rest ->
-        if t.sign < 0 then Buffer.add_char buf '-';
-        Buffer.add_string buf (string_of_int first);
-        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
-    Buffer.contents buf
-  end
+let to_string = function
+  | Small n -> string_of_int n
+  | Big { sign; mag } ->
+      let buf = Buffer.create 32 in
+      let rec chunks mag acc =
+        if Array.length mag = 0 then acc
+        else begin
+          let q, r = divmod_small mag 10000 in
+          chunks q (r :: acc)
+        end
+      in
+      (match chunks mag [] with
+      | [] -> assert false
+      | first :: rest ->
+          if sign < 0 then Buffer.add_char buf '-';
+          Buffer.add_string buf (string_of_int first);
+          List.iter
+            (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c))
+            rest);
+      Buffer.contents buf
 
 let of_string s =
   let len = String.length s in

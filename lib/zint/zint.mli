@@ -1,12 +1,18 @@
-(** Arbitrary-precision signed integers.
+(** Arbitrary-precision signed integers with a small-integer fast path.
 
     The Omega test and Smith-normal-form computations can produce
     coefficients that overflow native 63-bit integers (Fourier-Motzkin
     elimination multiplies coefficient pairs at every step), so every
     coefficient in this repository is a [Zint.t].
 
-    The representation is sign-magnitude with base-2{^15} limbs; all
-    operations are purely functional. *)
+    The representation is two-constructor, zarith-style: values in the
+    native [int] range live in an immediate [Small] constructor and all
+    arithmetic on them runs on native ints with explicit overflow checks;
+    values outside that range fall back to sign-magnitude base-2{^15}
+    limbs ([Big]). The canonicalization invariant — [Big] never holds a
+    value representable as [Small] — makes [equal], [compare], [hash],
+    [sign] and [to_int] O(1) in the common case. All operations are
+    purely functional. *)
 
 type t
 
@@ -43,7 +49,26 @@ val pp : Format.formatter -> t -> unit
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+(** [hash t] depends only on the mathematical value (both representation
+    arms fold the same base-2{^15} limb sequence), so
+    [equal a b] implies [hash a = hash b] by construction. *)
 val hash : t -> int
+
+(** {1 Representation introspection}
+
+    For the boundary test-suite; not meant for algorithmic use. *)
+
+(** [is_small t] is [true] iff the value is held in the immediate
+    constructor. Under the canonicalization invariant this is equivalent
+    to [to_int t <> None]. *)
+val is_small : t -> bool
+
+(** [repr_canonical t] checks the representation invariant at the value
+    level: a [Big] must be sign-normalized, trimmed, and hold a magnitude
+    strictly outside the native [int] range. Always [true] unless there
+    is a promotion/demotion bug. *)
+val repr_canonical : t -> bool
 
 (** [sign t] is [-1], [0] or [1]. *)
 val sign : t -> int

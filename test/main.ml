@@ -17,4 +17,5 @@ let () =
       Test_crosscut.suite;
       Test_differential.suite;
       Test_props.suite;
+      Test_alloc.suite;
     ]

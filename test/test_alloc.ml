@@ -1,0 +1,56 @@
+(* Allocation-regression guard for the small-integer fast path.
+
+   The two-constructor [Zint] representation cut the cold Example 6
+   counting query roughly in half, to well under 100k minor words
+   (BENCH_2.json, E6_example6). This test pins that budget: if a change
+   reintroduces per-operation boxing in the arithmetic stack, the cold
+   count climbs back toward the pre-fast-path figure (~165k words with
+   the residue merge) and trips the ceiling. Allocation counts are
+   deterministic for a fixed code path — [Gc.minor_words] reads the
+   allocation pointer — so the only slack needed is for code evolution,
+   not for run-to-run noise. *)
+
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+module E = Counting.Engine
+
+let v name = A.var (V.named name)
+let k n = A.of_int n
+let z = Zint.of_int
+
+(* Example 6: (Σ i,j : 1 <= i ∧ j <= n ∧ 2i <= 3j : 1). *)
+let example6_formula =
+  F.and_
+    [
+      F.geq (v "i") (k 1);
+      F.leq (v "j") (v "n");
+      F.leq (A.scale (z 2) (v "i")) (A.scale (z 3) (v "j"));
+    ]
+
+(* Measured ~80k words cold as of this PR; 140k still comfortably rejects
+   the ~160k pre-fast-path behaviour while leaving headroom for benign
+   engine changes. *)
+let ceiling = 140_000.
+
+let test_example6_minor_words () =
+  (* Warm-up absorbs one-time costs (lazy initializers, weak-table
+     growth); clearing the memo tables afterwards makes the measured run
+     a cold-cache query like the benchmark's. *)
+  ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
+  Omega.Memo.clear_all ();
+  let before = Gc.minor_words () in
+  ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
+  let words = Gc.minor_words () -. before in
+  if words > ceiling then
+    Alcotest.failf
+      "Example 6 count allocated %.0f minor words (ceiling %.0f): the \
+       small-integer fast path has regressed"
+      words ceiling
+
+let suite =
+  ( "alloc",
+    [
+      Alcotest.test_case "example6 minor-words ceiling" `Quick
+        test_example6_minor_words;
+    ] )

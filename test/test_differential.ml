@@ -244,6 +244,10 @@ let suite =
         (test_differential_block 100);
       Alcotest.test_case "random cases 150-199 vs brute force" `Quick
         (test_differential_block 150);
+      Alcotest.test_case "random cases 200-249 vs brute force" `Quick
+        (test_differential_block 200);
+      Alcotest.test_case "random cases 250-299 vs brute force" `Quick
+        (test_differential_block 250);
       Alcotest.test_case "determinism after counter reset" `Quick
         test_determinism;
     ] )

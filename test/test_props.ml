@@ -113,6 +113,13 @@ let zint_props =
     QCheck.Test.make ~name:"zint hash respects equality" ~count:500
       (QCheck.pair zint zint) (fun (a, b) ->
         (not (Zint.equal a b)) || Zint.hash a = Zint.hash b);
+    QCheck.Test.make ~name:"zint representation canonical after ring ops"
+      ~count:500 (QCheck.pair zint zint) (fun (a, b) ->
+        Zint.repr_canonical (Zint.add a b)
+        && Zint.repr_canonical (Zint.sub a b)
+        && Zint.repr_canonical (Zint.mul a b)
+        && Zint.repr_canonical (Zint.neg a)
+        && Zint.is_small (Zint.add a b) = (Zint.to_int (Zint.add a b) <> None));
   ]
 
 let qnum_props =
@@ -132,6 +139,16 @@ let qnum_props =
         let f = Qnum.of_zint (Qnum.floor a) in
         Qnum.compare f a <= 0
         && Qnum.compare a (Qnum.add f Qnum.one) < 0);
+    (* denominator-one fast paths agree with the integer operations *)
+    QCheck.Test.make ~name:"qnum integral fast path matches Zint" ~count:500
+      (QCheck.pair zint zint) (fun (a, b) ->
+        let qa = Qnum.of_zint a and qb = Qnum.of_zint b in
+        Qnum.equal (Qnum.add qa qb) (Qnum.of_zint (Zint.add a b))
+        && Qnum.equal (Qnum.sub qa qb) (Qnum.of_zint (Zint.sub a b))
+        && Qnum.equal (Qnum.mul qa qb) (Qnum.of_zint (Zint.mul a b))
+        && Qnum.compare qa qb = Zint.compare a b
+        && Zint.equal (Qnum.floor qa) a
+        && Zint.equal (Qnum.ceil qa) a);
   ]
 
 let qpoly_props =

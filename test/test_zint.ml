@@ -212,6 +212,149 @@ let prop_compare_antisym =
     (QCheck.pair big big)
     (fun (a, b) -> Zint.compare a b = Zint.sign (Zint.sub a b))
 
+(* Boundary properties ---------------------------------------------------- *)
+
+(* 2^200 offsets force a computation through the limb path, which makes
+   them an oracle for the native-int overflow checks: the fast path and
+   the limb path must compute the same value, and demotion must bring
+   in-range results back to [Small]. *)
+let kbig = Zint.pow Zint.two 200
+
+let canonical x =
+  Zint.repr_canonical x && Zint.is_small x = (Zint.to_int x <> None)
+
+let boundary_int =
+  QCheck.oneof
+    [
+      small_int;
+      QCheck.int_range (max_int - 100000) max_int;
+      QCheck.int_range min_int (min_int + 100000);
+      QCheck.int;
+    ]
+
+let mixed = QCheck.oneof [ QCheck.map z boundary_int; big ]
+
+let test_boundary_edges () =
+  let zmax = z max_int and zmin = z min_int in
+  (* promotion at the top edge, demotion back *)
+  let above = Zint.succ zmax in
+  Alcotest.(check bool) "max_int+1 promotes" false (Zint.is_small above);
+  Alcotest.(check bool) "max_int+1 canonical" true (Zint.repr_canonical above);
+  check_z "max_int+1-1 demotes" zmax (Zint.pred above);
+  Alcotest.(check bool)
+    "demoted is small" true
+    (Zint.is_small (Zint.pred above));
+  (* negation at the bottom edge: -min_int = 2^62 is out of native range *)
+  let negmin = Zint.neg zmin in
+  Alcotest.(check bool) "-min_int promotes" false (Zint.is_small negmin);
+  Alcotest.(check bool) "-min_int canonical" true (Zint.repr_canonical negmin);
+  check_z "neg round trip" zmin (Zint.neg negmin);
+  Alcotest.(check bool)
+    "neg round trip is small" true
+    (Zint.is_small (Zint.neg negmin));
+  check_z "abs min_int" negmin (Zint.abs zmin);
+  (* min_int / -1: the one Small/Small quotient that overflows (and traps
+     in native code if fed to the division instruction) *)
+  let q, r = Zint.tdiv_rem zmin Zint.minus_one in
+  check_z "tdiv min_int -1" negmin q;
+  check_z "trem min_int -1" Zint.zero r;
+  let q, r = Zint.fdiv_rem zmin Zint.minus_one in
+  check_z "fdiv min_int -1" negmin q;
+  check_z "fmod min_int -1" Zint.zero r;
+  check_z "cdiv min_int -1" negmin (Zint.cdiv zmin Zint.minus_one);
+  check_z "divexact min_int -1" negmin (Zint.divexact zmin Zint.minus_one);
+  Alcotest.(check bool)
+    "-1 divides min_int" true
+    (Zint.divides Zint.minus_one zmin);
+  check_z "gcd min_int min_int" negmin (Zint.gcd zmin zmin);
+  check_z "string roundtrip at min_int" zmin
+    (Zint.of_string (Zint.to_string zmin))
+
+let prop_results_canonical =
+  QCheck.Test.make ~name:"zint results canonical across the boundary"
+    ~count:1000 (QCheck.pair mixed mixed) (fun (a, b) ->
+      List.for_all canonical
+        ([ Zint.add a b; Zint.sub a b; Zint.mul a b; Zint.neg a; Zint.abs a;
+           Zint.gcd a b; Zint.succ a; Zint.pred a ]
+        @
+        if Zint.is_zero b then []
+        else begin
+          let q, r = Zint.tdiv_rem a b in
+          let fq, fr = Zint.fdiv_rem a b in
+          [ q; r; fq; fr; Zint.cdiv a b ]
+        end))
+
+let prop_big_out_of_range =
+  QCheck.Test.make ~name:"zint Big never holds a Small-range value"
+    ~count:1000 (QCheck.pair mixed mixed) (fun (a, b) ->
+      let out x =
+        Zint.is_small x || Zint.compare (Zint.abs x) (z max_int) > 0
+      in
+      out (Zint.add a b) && out (Zint.sub a b) && out (Zint.mul a b)
+      && out (Zint.neg a))
+
+let prop_overflow_oracle =
+  QCheck.Test.make ~name:"zint overflow checks agree with limb oracle"
+    ~count:1000
+    (QCheck.pair (QCheck.map z boundary_int) (QCheck.map z boundary_int))
+    (fun (a, b) ->
+      Zint.equal (Zint.add a b) (Zint.sub (Zint.add (Zint.add a kbig) b) kbig)
+      && Zint.equal (Zint.sub a b)
+           (Zint.sub (Zint.sub (Zint.add a kbig) b) kbig)
+      && Zint.equal (Zint.mul a b)
+           (Zint.divexact (Zint.mul (Zint.mul a kbig) b) kbig))
+
+let prop_pow_oracle =
+  QCheck.Test.make ~name:"zint pow matches repeated mul across the boundary"
+    ~count:300
+    (QCheck.pair (QCheck.map z boundary_int)
+       (QCheck.make (QCheck.Gen.int_range 0 8)))
+    (fun (a, n) ->
+      let rec slow acc k = if k = 0 then acc else slow (Zint.mul acc a) (k - 1) in
+      Zint.equal (Zint.pow a n) (slow Zint.one n))
+
+let prop_div_scaling =
+  QCheck.Test.make
+    ~name:"zint divmod conventions stable under 2^200 scaling" ~count:500
+    (QCheck.pair (QCheck.map z boundary_int) (QCheck.map z boundary_int))
+    (fun (a, b) ->
+      QCheck.assume (not (Zint.is_zero b));
+      (* the Small fast path (a, b) and the limb path (a*K, b*K) must
+         agree for both rounding conventions *)
+      let ka = Zint.mul a kbig and kb = Zint.mul b kbig in
+      let q, r = Zint.tdiv_rem a b in
+      let bq, br = Zint.tdiv_rem ka kb in
+      let fq, fr = Zint.fdiv_rem a b in
+      let bfq, bfr = Zint.fdiv_rem ka kb in
+      Zint.equal q bq
+      && Zint.equal (Zint.mul r kbig) br
+      && Zint.equal fq bfq
+      && Zint.equal (Zint.mul fr kbig) bfr)
+
+let prop_floor_vs_trunc =
+  QCheck.Test.make ~name:"zint floor vs trunc relation across the boundary"
+    ~count:500 (QCheck.pair mixed mixed) (fun (a, b) ->
+      QCheck.assume (not (Zint.is_zero b));
+      let tq, tr = Zint.tdiv_rem a b in
+      let fq, fr = Zint.fdiv_rem a b in
+      if Zint.is_zero tr || Zint.sign tr = Zint.sign b then
+        Zint.equal fq tq && Zint.equal fr tr
+      else Zint.equal fq (Zint.pred tq) && Zint.equal fr (Zint.add tr b))
+
+let prop_hash_follows_value =
+  QCheck.Test.make ~name:"zint hash agrees on every route to a value"
+    ~count:1000 mixed (fun a ->
+      (* the same value reached through the limb path, double negation,
+         and string parsing must be equal AND hash identically *)
+      let via_limb = Zint.sub (Zint.add a kbig) kbig in
+      let via_neg = Zint.neg (Zint.neg a) in
+      let via_string = Zint.of_string (Zint.to_string a) in
+      Zint.equal a via_limb && Zint.equal a via_neg
+      && Zint.equal a via_string
+      && Zint.hash a = Zint.hash via_limb
+      && Zint.hash a = Zint.hash via_neg
+      && Zint.hash a = Zint.hash via_string)
+
 let suite =
   ( "zint",
     [
@@ -229,6 +372,7 @@ let suite =
       Alcotest.test_case "pow" `Quick test_pow;
       Alcotest.test_case "divides/divexact" `Quick test_divides_divexact;
       Alcotest.test_case "compare/min/max" `Quick test_compare;
+      Alcotest.test_case "boundary edge cases" `Quick test_boundary_edges;
       QCheck_alcotest.to_alcotest prop_ring_matches_native;
       QCheck_alcotest.to_alcotest prop_divmod_native;
       QCheck_alcotest.to_alcotest prop_big_divmod;
@@ -236,4 +380,11 @@ let suite =
       QCheck_alcotest.to_alcotest prop_string_roundtrip;
       QCheck_alcotest.to_alcotest prop_gcd;
       QCheck_alcotest.to_alcotest prop_compare_antisym;
+      QCheck_alcotest.to_alcotest prop_results_canonical;
+      QCheck_alcotest.to_alcotest prop_big_out_of_range;
+      QCheck_alcotest.to_alcotest prop_overflow_oracle;
+      QCheck_alcotest.to_alcotest prop_pow_oracle;
+      QCheck_alcotest.to_alcotest prop_div_scaling;
+      QCheck_alcotest.to_alcotest prop_floor_vs_trunc;
+      QCheck_alcotest.to_alcotest prop_hash_follows_value;
     ] )
