@@ -487,11 +487,12 @@ let micro_affine () =
   done;
   ignore (A.intern !acc)
 
-let micro_experiments : (string * (unit -> unit)) list =
+let micro_experiments : (string * (string * string) list * (unit -> unit)) list
+    =
   [
-    ("micro_zint_small", micro_zint);
-    ("micro_qnum_small", micro_qnum);
-    ("micro_affine_small", micro_affine);
+    ("micro_zint_small", [ ("kind", "micro") ], micro_zint);
+    ("micro_qnum_small", [ ("kind", "micro") ], micro_qnum);
+    ("micro_affine_small", [ ("kind", "micro") ], micro_affine);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -500,25 +501,44 @@ let micro_experiments : (string * (unit -> unit)) list =
    memoization-ablation line comparing executed eliminations with the
    memo on and off.                                                     *)
 
-let instr_experiments : (string * (unit -> unit)) list =
+(* Each experiment carries its configuration as labelled fields, recorded
+   in the JSON line's "options" object so trajectory files are
+   self-describing (no out-of-band knowledge of what each label ran). *)
+let engine_meta = E.opts_fields E.default @ [ ("memo", "on") ]
+
+let instr_experiments : (string * (string * string) list * (unit -> unit)) list
+    =
   [
-    ("E0_intro_table", fun () -> List.iter (fun q -> ignore (run_query q)) intro_queries);
-    ("E1_example1", fun () -> ignore (E.count ~vars:[ "i"; "j"; "kk" ] example1_formula));
-    ("E2_example2", fun () -> ignore (E.count ~vars:[ "i"; "j"; "kk" ] example2_formula));
-    ("E4_example4", fun () -> ignore (E.count ~vars:[ "x" ] example4_formula));
+    ( "E0_intro_table",
+      engine_meta,
+      fun () -> List.iter (fun q -> ignore (run_query q)) intro_queries );
+    ( "E1_example1",
+      engine_meta,
+      fun () -> ignore (E.count ~vars:[ "i"; "j"; "kk" ] example1_formula) );
+    ( "E2_example2",
+      engine_meta,
+      fun () -> ignore (E.count ~vars:[ "i"; "j"; "kk" ] example2_formula) );
+    ( "E4_example4",
+      engine_meta,
+      fun () -> ignore (E.count ~vars:[ "x" ] example4_formula) );
     ( "E6_example6",
+      engine_meta,
       fun () ->
         ignore
           (Counting.Merge.merge_residues
              (E.count ~vars:[ "i"; "j" ] example6_formula)) );
-    ("S26_simplify", fun () -> ignore (Omega.Dnf.of_formula section26_formula));
+    ( "S26_simplify",
+      [ ("mode", "dnf_overlapping"); ("memo", "on") ],
+      fun () -> ignore (Omega.Dnf.of_formula section26_formula) );
     ( "F1_fig1_splinter",
+      [ ("mode", "project_exact"); ("memo", "on") ],
       fun () ->
         let beta, cl = fig1_clause () in
         ignore (Omega.Solve.project Omega.Solve.Exact_overlapping [ beta ] cl);
         let beta2, cl2 = fig1_clause () in
         ignore (Omega.Solve.project Omega.Solve.Exact_disjoint [ beta2 ] cl2) );
     ( "S33_hpf_ownership",
+      engine_meta,
       fun () ->
         ignore
           (Loopapps.Hpf.ownership_count
@@ -533,7 +553,7 @@ let instr_report emit =
      charged for it; the memo tables are cleared again before each
      measured run, which is what "cold caches" promises. *)
   (match instr_experiments with
-  | (_, f) :: _ ->
+  | (_, _, f) :: _ ->
       f ();
       Omega.Memo.clear_all ()
   | [] -> ());
@@ -541,7 +561,7 @@ let instr_report emit =
     (* the instrumented run below is itself a cold memo-on run, so its
        eliminations counter doubles as the ablation "on" figure *)
     List.map
-      (fun (label, f) ->
+      (fun (label, meta, f) ->
         (* Each experiment is deterministic, so every rep reports the same
            counters and allocation words; only wall time is noisy at the
            sub-millisecond scale.  Run a few cold-cache reps and keep the
@@ -551,7 +571,7 @@ let instr_report emit =
         let best = ref None in
         for _ = 1 to reps do
           Omega.Memo.clear_all ();
-          let (), r = E.with_instr ~label f in
+          let (), r = E.with_instr ~label ~meta f in
           match !best with
           | Some b when b.Counting.Instr.wall_s <= r.Counting.Instr.wall_s ->
               ()
@@ -571,14 +591,14 @@ let instr_report emit =
      the full cache counters. *)
   let ablatable =
     List.filter
-      (fun (label, _) ->
+      (fun (label, _, _) ->
         label <> "E4_example4" && label <> "S33_hpf_ownership"
         && label <> "F1_fig1_splinter")
       instr_experiments
   in
   Omega.Memo.set_enabled false;
   List.iter
-    (fun (label, f) ->
+    (fun (label, _, f) ->
       Omega.Memo.clear_all ();
       let before = Omega.Memo.(snapshot ()).eliminations in
       f ();
@@ -673,14 +693,16 @@ let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
   let check = List.mem "--check" argv in
-  let json_file =
+  let find_arg flag =
     let rec find = function
-      | "--json" :: file :: _ -> Some file
+      | f :: file :: _ when f = flag -> Some file
       | _ :: rest -> find rest
       | [] -> None
     in
     find argv
   in
+  let json_file = find_arg "--json" in
+  let trace_file = find_arg "--trace" in
   let json_oc = Option.map open_out json_file in
   let emit line =
     Printf.printf "%s\n" line;
@@ -691,7 +713,18 @@ let () =
     | None -> ()
   in
   report ();
+  (* Trace only the instrumented runs: tracing the Bechamel timing loops
+     below would perturb the very numbers they measure. *)
+  Option.iter (fun _ -> Obs.Trace.set_enabled true) trace_file;
   instr_report emit;
+  Option.iter
+    (fun f ->
+      Obs.Trace.set_enabled false;
+      let oc = open_out f in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Obs.Trace.write_chrome oc))
+    trace_file;
   Option.iter close_out json_oc;
   let checks_ok = if check then run_checks () else true in
   if not checks_ok then exit 1;

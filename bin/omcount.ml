@@ -26,7 +26,11 @@ let run query bindings strategy merge stats =
   in
   let value, report =
     if stats then begin
-      let value, report = Counting.Engine.with_instr ~label:"omcount" compute in
+      let value, report =
+        Counting.Engine.with_instr ~label:"omcount"
+          ~meta:(Counting.Engine.opts_fields opts)
+          compute
+      in
       (value, Some report)
     end
     else (compute (), None)
@@ -58,7 +62,11 @@ let simplify_formula s stats =
   let compute () = Omega.Disjoint.of_formula f in
   let cls, report =
     if stats then begin
-      let cls, report = Counting.Engine.with_instr ~label:"omcount" compute in
+      let cls, report =
+        Counting.Engine.with_instr ~label:"omcount"
+          ~meta:[ ("mode", "simplify") ]
+          compute
+      in
       (cls, Some report)
     end
     else (compute (), None)
@@ -80,12 +88,41 @@ let simplify_formula s stats =
       Format.eprintf "%a@." Counting.Instr.pp r;
       Printf.eprintf "%s\n" (Counting.Instr.to_json r)
 
+(* Caret diagnostic for a parse/typing error at byte offset [pos] of the
+   query string. Printed to stderr; the caller exits with code 2 (usage /
+   input error), distinct from exit 1 (a well-formed query the engine
+   cannot answer). *)
+let report_parse_error src pos msg =
+  let n = String.length src in
+  let pos = max 0 (min pos n) in
+  let line_start =
+    if pos = 0 then 0
+    else
+      match String.rindex_from_opt src (pos - 1) '\n' with
+      | Some i -> i + 1
+      | None -> 0
+  in
+  let line_end =
+    match String.index_from_opt src pos '\n' with Some i -> i | None -> n
+  in
+  let line_no =
+    1 + String.fold_left (fun k c -> if c = '\n' then k + 1 else k) 0
+          (String.sub src 0 line_start)
+  in
+  let col = pos - line_start in
+  Printf.eprintf "omcount: parse error at line %d, column %d: %s\n" line_no
+    (col + 1) msg;
+  Printf.eprintf "  %s\n" (String.sub src line_start (line_end - line_start));
+  Printf.eprintf "  %s^\n" (String.make col ' ')
+
 let () =
   let bindings = ref [] in
   let strategy = ref Counting.Engine.Exact in
   let merge = ref true in
   let simplify = ref false in
   let stats = ref false in
+  let trace_file = ref None in
+  let profile = ref false in
   let query = ref None in
   let spec =
     [
@@ -114,10 +151,32 @@ let () =
       ( "--no-memo",
         Arg.Unit (fun () -> Omega.Memo.set_enabled false),
         "  disable solver memoization" );
+      ( "--trace",
+        Arg.String (fun f -> trace_file := Some f),
+        "FILE  record a hierarchical trace and write it to FILE as Chrome \
+         trace-event JSON (open in Perfetto or chrome://tracing)" );
+      ( "--profile",
+        Arg.Set profile,
+        "  record a trace and print a self-time-sorted span tree to stderr" );
     ]
   in
   let usage = "omcount [options] \"count { vars : formula }\" | \"sum { vars : formula } expr\"" in
   Arg.parse spec (fun s -> query := Some s) usage;
+  if !trace_file <> None || !profile then begin
+    Obs.Trace.set_enabled true;
+    (* Dump at exit so post-mortem traces of failed runs (parse errors
+       aside — nothing is recorded yet — but Unbounded, non-termination
+       guards, …) still reach the file. *)
+    at_exit (fun () ->
+        (match !trace_file with
+        | None -> ()
+        | Some f ->
+            let oc = open_out f in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> Obs.Trace.write_chrome oc));
+        if !profile then Obs.Trace.pp_profile Format.err_formatter ())
+  end;
   match !query with
   | None ->
       prerr_endline usage;
@@ -128,8 +187,11 @@ let () =
         else run q !bindings !strategy !merge !stats
       with
       | Preslang.Parse_error (pos, msg) ->
-          Printf.eprintf "parse error at offset %d: %s\n" pos msg;
-          exit 1
+          report_parse_error q pos msg;
+          exit 2
       | Counting.Engine.Unbounded msg ->
           Printf.eprintf "unbounded summation: %s\n" msg;
+          exit 1
+      | Failure msg ->
+          Printf.eprintf "omcount: %s\n" msg;
           exit 1)

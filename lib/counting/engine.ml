@@ -32,6 +32,39 @@ type stats = {
 let new_stats () =
   { dnf_clauses = 0; bound_splits = 0; residue_splinters = 0; pieces = 0 }
 
+let strategy_name = function
+  | Exact -> "exact"
+  | Upper -> "upper"
+  | Lower -> "lower"
+  | Symbolic -> "symbolic"
+
+let opts_fields o =
+  [
+    ("strategy", strategy_name o.strategy);
+    ("flexible_order", string_of_bool o.flexible_order);
+    ("eliminate_redundant", string_of_bool o.eliminate_redundant);
+    ("guard_empty", string_of_bool o.guard_empty);
+    ("disjoint", string_of_bool o.disjoint);
+  ]
+
+(* Distribution metrics (always-on array increments; the trace events next
+   to them are gated on [Obs.Trace.enabled]). *)
+let m_dnf_clauses =
+  Obs.Metrics.histogram "engine.dnf_clauses"
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128 |]
+
+let m_clause_us =
+  Obs.Metrics.histogram "engine.clause_us"
+    ~buckets:[| 10; 100; 1_000; 10_000; 100_000; 1_000_000 |]
+
+let m_splinter_fanout =
+  Obs.Metrics.histogram "engine.splinter_fanout"
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64 |]
+
+let m_piece_depth =
+  Obs.Metrics.histogram "engine.piece_depth"
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64 |]
+
 exception Unbounded of string
 
 let sum_var_counter = ref 0
@@ -160,6 +193,7 @@ and convex opts stats vars poly clause fuel : Value.t =
   match vars with
   | [] ->
       stats.pieces <- stats.pieces + 1;
+      Obs.Metrics.observe m_piece_depth fuel;
       Value.piece clause poly
   | _ -> begin
       (* Variable choice (Section 4.4 step 2): prefer variables with few
@@ -341,6 +375,17 @@ and single_pair opts stats vars poly clause fuel v ~rest (b, beta) (a, alpha)
         let bi = small_int b "lower bound splinter"
         and ai = small_int a "upper bound splinter" in
         stats.residue_splinters <- stats.residue_splinters + (ai * bi) - 1;
+        Obs.Metrics.observe m_splinter_fanout (ai * bi);
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant "splinter"
+            ~attrs:(fun () ->
+              [
+                ("where", Obs.Trace.Str "engine.residue");
+                ("var", Obs.Trace.Str vname);
+                ("lower_mod", Obs.Trace.Int bi);
+                ("upper_mod", Obs.Trace.Int ai);
+                ("fan_out", Obs.Trace.Int (ai * bi));
+              ]);
         let residues n = List.init n (fun r -> r) in
         List.concat_map
           (fun rb ->
@@ -402,9 +447,36 @@ let sum_clauses ?(opts = default) ?stats ~vars cls poly =
   let stats = resolve_stats stats in
   let vs = List.map V.named vars in
   stats.dnf_clauses <- stats.dnf_clauses + List.length cls;
+  Obs.Metrics.observe m_dnf_clauses (List.length cls);
   let pieces =
     Instr.time_phase "sum" (fun () ->
-        List.concat_map (fun c -> go opts stats vs poly c 0) cls)
+        if Obs.Trace.enabled () then
+          (* Traced path: one span per disjunct, with per-clause wall time
+             fed to the clause_us histogram. The untraced path below stays
+             a plain concat_map so disabled tracing allocates nothing
+             extra. *)
+          List.concat
+            (List.mapi
+               (fun i c ->
+                 Obs.Trace.span "clause"
+                   ~attrs:(fun () ->
+                     [
+                       ("index", Obs.Trace.Int i);
+                       ("constraints", Obs.Trace.Int (Omega.Clause.size c));
+                       ("vars", Obs.Trace.Int (List.length vs));
+                     ])
+                   (fun () ->
+                     let t0 = Unix.gettimeofday () in
+                     let r = go opts stats vs poly c 0 in
+                     let us =
+                       int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+                     in
+                     Obs.Metrics.observe m_clause_us us;
+                     Obs.Trace.add_attr "pieces"
+                       (Obs.Trace.Int (List.length r));
+                     r))
+               cls)
+        else List.concat_map (fun c -> go opts stats vs poly c 0) cls)
   in
   Instr.time_phase "simplify" (fun () -> Value.simplify pieces)
 
@@ -439,13 +511,16 @@ let stats_fields s =
     ("pieces", s.pieces);
   ]
 
-let with_instr ?label f =
+let with_instr ?label ?(meta = []) f =
   let s = new_stats () in
   let saved = !ambient_stats in
   ambient_stats := Some s;
   Fun.protect
     ~finally:(fun () -> ambient_stats := saved)
-    (fun () -> Instr.collect ?label ~counts:(fun () -> stats_fields s) f)
+    (fun () ->
+      Instr.collect ?label ~options:meta
+        ~counts:(fun () -> stats_fields s)
+        f)
 
 let brute_sum ~vars ~lo ~hi env f poly =
   let rec loop bound vars acc =

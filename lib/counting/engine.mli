@@ -60,6 +60,13 @@ type options = {
 
 val default : options
 
+(** Stable lowercase name of a strategy, used in reports and traces. *)
+val strategy_name : strategy -> string
+
+(** Options as labelled string fields ([strategy], [flexible_order], …),
+    the [options] block of the self-describing JSON reports. *)
+val opts_fields : options -> (string * string) list
+
 (** Instrumentation for the comparisons of Section 6. *)
 type stats = {
   mutable dnf_clauses : int;
@@ -104,13 +111,19 @@ val sum_clauses :
   Qpoly.t ->
   Value.t
 
-(** [with_instr ?label f] runs [f] under instrumentation: phase timers
-    are reset, engine counters are collected from every [sum]/[count]
-    call inside [f] that does not pass its own [?stats], and the memo
-    hit/miss deltas are captured. Returns [f]'s result with the
-    {!Instr.report}. Not reentrant (the phase table is global). *)
+(** [with_instr ?label ?meta f] runs [f] under instrumentation: phase
+    timers are reset, engine counters are collected from every
+    [sum]/[count] call inside [f] that does not pass its own [?stats],
+    and the memo hit/miss and metrics-registry deltas are captured.
+    [meta] (e.g. [opts_fields opts]) is recorded verbatim as the report's
+    [options], making emitted JSON self-describing. Returns [f]'s result
+    with the {!Instr.report}. Not reentrant (the phase table is
+    global). *)
 val with_instr :
-  ?label:string -> (unit -> 'a) -> 'a * Instr.report
+  ?label:string ->
+  ?meta:(string * string) list ->
+  (unit -> 'a) ->
+  'a * Instr.report
 
 (** [fresh_sum_var] names for stride substitution come from a global
     counter; [reset_fresh_sum_var] rewinds it so a repeated computation

@@ -1,38 +1,20 @@
-(* Phase timers and run reports. The table is global and tiny (a handful
-   of named phases), so entering a phase is two clock reads and a hashtbl
-   hit — cheap enough to leave permanently enabled. *)
+(* Run reports over the observability substrate. Phase timers are
+   hierarchical spans now (Obs.Trace): [time_phase] delegates to
+   [Trace.phase], which accumulates (seconds, entries) whether or not
+   tracing is enabled and additionally records begin/end events into the
+   trace ring buffer when it is. Entering a phase stays two clock reads
+   and a hashtbl hit — cheap enough to leave permanently enabled. *)
 
-type phase = { mutable seconds : float; mutable entries : int }
-
-let phases : (string, phase) Hashtbl.t = Hashtbl.create 8
-
-(* Wall clock. [Unix.gettimeofday] is the best clock available without
-   external deps; not strictly monotonic under clock adjustment, but
-   phase spans are microseconds-to-seconds and reports are advisory. *)
 let now () = Unix.gettimeofday ()
 
-let find name =
-  match Hashtbl.find_opt phases name with
-  | Some p -> p
-  | None ->
-      let p = { seconds = 0.; entries = 0 } in
-      Hashtbl.add phases name p;
-      p
+(* Re-entrant: nested same-phase entries bump the entry count but wall
+   time accumulates only at the outermost level (Trace keeps a depth
+   counter per phase). *)
+let time_phase = Obs.Trace.phase
 
-let time_phase name f =
-  let p = find name in
-  let t0 = now () in
-  Fun.protect
-    ~finally:(fun () ->
-      p.seconds <- p.seconds +. (now () -. t0);
-      p.entries <- p.entries + 1)
-    f
+let reset_phases = Obs.Trace.reset_phases
 
-let reset_phases () = Hashtbl.reset phases
-
-let phase_fields () =
-  Hashtbl.fold (fun name p acc -> (name, (p.seconds, p.entries)) :: acc) phases []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let phase_fields = Obs.Trace.phase_totals
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
@@ -43,6 +25,8 @@ type report = {
   phases : (string * (float * int)) list;
   memo : Omega.Memo.counters;
   counts : (string * int) list;
+  metrics : (string * Obs.Metrics.sample) list;
+  options : (string * string) list;
   minor_words : float;
   promoted_words : float;
   major_words : float;
@@ -54,9 +38,10 @@ type report = {
    so a collected run still benefits from earlier warm-up. Allocation
    deltas come from [Gc.quick_stat] (no heap walk), so sampling them
    costs nothing measurable against the runs being measured. *)
-let collect ?(label = "run") ?(counts = fun () -> []) f =
+let collect ?(label = "run") ?(options = []) ?(counts = fun () -> []) f =
   reset_phases ();
   let m0 = Omega.Memo.snapshot () in
+  let mx0 = Obs.Metrics.snapshot () in
   let g0 = Gc.quick_stat () in
   (* [Gc.minor_words] reads the allocation pointer, so the minor delta is
      word-exact; [quick_stat]'s minor_words only advances at minor
@@ -68,6 +53,7 @@ let collect ?(label = "run") ?(counts = fun () -> []) f =
   let mw1 = Gc.minor_words () in
   let g1 = Gc.quick_stat () in
   let memo = Omega.Memo.(diff (snapshot ()) m0) in
+  let metrics = Obs.Metrics.(diff (snapshot ()) mx0) in
   ( x,
     {
       label;
@@ -75,6 +61,8 @@ let collect ?(label = "run") ?(counts = fun () -> []) f =
       phases = phase_fields ();
       memo;
       counts = counts ();
+      metrics;
+      options;
       minor_words = mw1 -. mw0;
       promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
       major_words = g1.Gc.major_words -. g0.Gc.major_words;
@@ -97,11 +85,30 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let int_array_json a =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+
+let sample_json = function
+  | Obs.Metrics.Count n -> string_of_int n
+  | Obs.Metrics.Hist h ->
+      Printf.sprintf "{\"buckets\":%s,\"counts\":%s,\"count\":%d,\"sum\":%d}"
+        (int_array_json h.bounds) (int_array_json h.counts) h.count h.sum
+
 let to_json r =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf "{\"label\":\"%s\",\"wall_s\":%.6f" (json_escape r.label)
        r.wall_s);
+  if r.options <> [] then begin
+    Buffer.add_string b ",\"options\":{";
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape name) (json_escape v)))
+      r.options;
+    Buffer.add_string b "}"
+  end;
   Buffer.add_string b ",\"phases\":{";
   List.iteri
     (fun i (name, (s, n)) ->
@@ -130,6 +137,16 @@ let to_json r =
       r.counts;
     Buffer.add_string b "}"
   end;
+  if r.metrics <> [] then begin
+    Buffer.add_string b ",\"metrics\":{";
+    List.iteri
+      (fun i (name, s) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\"%s\":%s" (json_escape name) (sample_json s)))
+      r.metrics;
+    Buffer.add_string b "}"
+  end;
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -138,6 +155,10 @@ let hit_rate hits queries =
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>%s: %.3fs wall@," r.label r.wall_s;
+  if r.options <> [] then
+    Format.fprintf fmt "  options %s@,"
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) r.options));
   List.iter
     (fun (name, (s, n)) ->
       Format.fprintf fmt "  phase %-10s %8.3fs  (%d entries)@," name s n)
@@ -157,4 +178,14 @@ let pp fmt r =
   Format.fprintf fmt "  alloc  %.0f minor words, %.0f promoted, %.0f major@,"
     r.minor_words r.promoted_words r.major_words;
   List.iter (fun (name, v) -> Format.fprintf fmt "  %-12s %d@," name v) r.counts;
+  List.iter
+    (fun (name, s) ->
+      match s with
+      | Obs.Metrics.Count 0 -> ()
+      | Obs.Metrics.Count n -> Format.fprintf fmt "  metric %-26s %d@," name n
+      | Obs.Metrics.Hist h when h.count = 0 -> ()
+      | Obs.Metrics.Hist h ->
+          Format.fprintf fmt "  metric %-26s n=%d sum=%d %s@," name h.count
+            h.sum (int_array_json h.counts))
+    r.metrics;
   Format.fprintf fmt "@]"

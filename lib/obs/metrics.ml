@@ -1,0 +1,128 @@
+(* Counters and fixed-bucket histograms. The hot operations ([incr],
+   [observe]) are integer stores into preallocated arrays/records so the
+   registry can stay on in production runs; snapshotting allocates, but
+   only the instrumentation layer does that, once per measured run. *)
+
+type kind =
+  | Counter of { mutable n : int }
+  | Histogram of {
+      bounds : int array;  (* ascending inclusive upper bounds *)
+      counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+      mutable count : int;
+      mutable sum : int;
+    }
+
+type t = { name : string; kind : kind }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some ({ kind = Counter _; _ } as m) -> m
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Metrics.counter: %s is a histogram" name)
+  | None ->
+      let m = { name; kind = Counter { n = 0 } } in
+      Hashtbl.add registry name m;
+      m
+
+let histogram name ~buckets =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: buckets must be strictly ascending")
+    buckets;
+  match Hashtbl.find_opt registry name with
+  | Some ({ kind = Histogram h; _ } as m) ->
+      if h.bounds <> buckets then
+        invalid_arg
+          (Printf.sprintf "Metrics.histogram: %s registered with other buckets"
+             name);
+      m
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Metrics.histogram: %s is a counter" name)
+  | None ->
+      let m =
+        {
+          name;
+          kind =
+            Histogram
+              {
+                bounds = Array.copy buckets;
+                counts = Array.make (Array.length buckets + 1) 0;
+                count = 0;
+                sum = 0;
+              };
+        }
+      in
+      Hashtbl.add registry name m;
+      m
+
+let incr ?(by = 1) m =
+  match m.kind with
+  | Counter c -> c.n <- c.n + by
+  | Histogram _ -> invalid_arg ("Metrics.incr: " ^ m.name ^ " is a histogram")
+
+let observe m v =
+  match m.kind with
+  | Histogram h ->
+      let n = Array.length h.bounds in
+      let rec idx i = if i >= n || v <= h.bounds.(i) then i else idx (i + 1) in
+      let i = idx 0 in
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.count <- h.count + 1;
+      h.sum <- h.sum + v
+  | Counter _ -> invalid_arg ("Metrics.observe: " ^ m.name ^ " is a counter")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type sample =
+  | Count of int
+  | Hist of { bounds : int array; counts : int array; count : int; sum : int }
+
+let sample_of m =
+  match m.kind with
+  | Counter c -> Count c.n
+  | Histogram h ->
+      Hist
+        {
+          bounds = h.bounds;
+          counts = Array.copy h.counts;
+          count = h.count;
+          sum = h.sum;
+        }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, sample_of m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let diff after before =
+  List.map
+    (fun (name, sa) ->
+      match (sa, List.assoc_opt name before) with
+      | Count a, Some (Count b) -> (name, Count (a - b))
+      | Hist a, Some (Hist b) when a.bounds = b.bounds ->
+          ( name,
+            Hist
+              {
+                bounds = a.bounds;
+                counts = Array.mapi (fun i c -> c - b.counts.(i)) a.counts;
+                count = a.count - b.count;
+                sum = a.sum - b.sum;
+              } )
+      | _, _ -> (name, sa))
+    after
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m.kind with
+      | Counter c -> c.n <- 0
+      | Histogram h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.count <- 0;
+          h.sum <- 0)
+    registry

@@ -1,0 +1,310 @@
+(* Hierarchical tracing over a bounded ring buffer.
+
+   Hot-path discipline: when tracing is disabled, [span]/[instant] are a
+   single flag read and must not allocate — the counting engine's
+   alloc-guard test enforces this. The ring is a plain array indexed by a
+   monotonically increasing write counter; on OCaml 5 this is
+   "lock-free-enough" for the single-domain solver (no mutex, no ordering
+   requirements beyond program order), and torn reads can at worst
+   garble an event that the export-time pairing repair then drops. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type attr = string * value
+
+type event = { ph : char; name : string; ts_us : float; attrs : attr list }
+
+let dummy_event = { ph = 'i'; name = ""; ts_us = 0.; attrs = [] }
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+
+let on = ref false
+
+let enabled () = !on
+
+let default_capacity =
+  match Sys.getenv_opt "OMEGA_TRACE_CAP" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 16 -> n | _ -> 65536)
+  | None -> 65536
+
+let cap = ref default_capacity
+
+(* Allocated lazily at the first recorded event, so linking the library
+   costs no memory until tracing is switched on. *)
+let buf : event array ref = ref [||]
+
+(* Events written since [clear]; the ring slot is [total mod cap]. *)
+let total = ref 0
+
+(* Pending [add_attr] attributes for each open span, innermost first.
+   Only maintained while recording. *)
+let open_attrs : attr list list ref = ref []
+
+let clear () =
+  buf := [||];
+  total := 0;
+  open_attrs := []
+
+let set_capacity n =
+  if n < 16 then invalid_arg "Trace.set_capacity: capacity must be >= 16";
+  cap := n;
+  clear ()
+
+let capacity () = !cap
+
+let set_enabled b = on := b
+
+let dropped () = if !total > !cap then !total - !cap else 0
+
+let t0 = Unix.gettimeofday ()
+
+let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
+
+let record ev =
+  if Array.length !buf = 0 then buf := Array.make !cap dummy_event;
+  !buf.(!total mod !cap) <- ev;
+  incr total
+
+let events () =
+  let n = !total and c = !cap in
+  if n = 0 then []
+  else if n <= c then Array.to_list (Array.sub !buf 0 n)
+  else begin
+    let start = n mod c in
+    List.init c (fun i -> !buf.((start + i) mod c))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+
+let instant ?attrs name =
+  if !on then
+    record
+      {
+        ph = 'i';
+        name;
+        ts_us = now_us ();
+        attrs = (match attrs with None -> [] | Some g -> g ());
+      }
+
+let add_attr k v =
+  if !on then
+    match !open_attrs with
+    | a :: rest -> open_attrs := ((k, v) :: a) :: rest
+    | [] -> ()
+
+let span ?attrs name f =
+  if not !on then f ()
+  else begin
+    record
+      {
+        ph = 'B';
+        name;
+        ts_us = now_us ();
+        attrs = (match attrs with None -> [] | Some g -> g ());
+      }
+    ;
+    open_attrs := [] :: !open_attrs;
+    Fun.protect
+      ~finally:(fun () ->
+        let extra =
+          match !open_attrs with
+          | a :: rest ->
+              open_attrs := rest;
+              List.rev a
+          | [] -> []
+        in
+        record { ph = 'E'; name; ts_us = now_us (); attrs = extra })
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Always-on phase aggregation (the base of Instr.time_phase)          *)
+
+type phase_rec = {
+  mutable seconds : float;
+  mutable entries : int;
+  mutable depth : int;
+  mutable t_start : float;
+}
+
+let phases : (string, phase_rec) Hashtbl.t = Hashtbl.create 8
+
+let phase_find name =
+  match Hashtbl.find_opt phases name with
+  | Some p -> p
+  | None ->
+      let p = { seconds = 0.; entries = 0; depth = 0; t_start = 0. } in
+      Hashtbl.add phases name p;
+      p
+
+let phase name f =
+  let p = phase_find name in
+  p.entries <- p.entries + 1;
+  p.depth <- p.depth + 1;
+  if p.depth = 1 then p.t_start <- Unix.gettimeofday ();
+  let finish () =
+    p.depth <- p.depth - 1;
+    if p.depth = 0 then
+      p.seconds <- p.seconds +. (Unix.gettimeofday () -. p.t_start)
+  in
+  if not !on then Fun.protect ~finally:finish f
+  else span name (fun () -> Fun.protect ~finally:finish f)
+
+let phase_totals () =
+  Hashtbl.fold (fun name p acc -> (name, (p.seconds, p.entries)) :: acc) phases []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_phases () = Hashtbl.reset phases
+
+(* ------------------------------------------------------------------ *)
+(* Pairing repair                                                      *)
+
+(* The ring keeps a contiguous suffix of a properly nested B/E stream, so
+   the only defects are E events whose B was overwritten (they pop an
+   empty stack: drop them) and B events still open when the buffer is
+   dumped (close them at the last timestamp). Within the suffix an E with
+   a nonempty stack always matches the innermost open B. *)
+let paired_events () =
+  let evs = events () in
+  let last_ts = List.fold_left (fun acc e -> Float.max acc e.ts_us) 0. evs in
+  let rec go stack acc = function
+    | [] ->
+        let closers =
+          List.map
+            (fun (b : event) ->
+              { ph = 'E'; name = b.name; ts_us = last_ts; attrs = [] })
+            stack
+        in
+        List.rev_append acc closers
+    | e :: rest -> (
+        match e.ph with
+        | 'B' -> go (e :: stack) (e :: acc) rest
+        | 'E' -> (
+            match stack with
+            | _ :: s -> go s (e :: acc) rest
+            | [] -> go [] acc rest)
+        | _ -> go stack (e :: acc) rest)
+  in
+  go [] [] evs
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_json = function
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_finite f then Printf.sprintf "%.6g" f
+      else "\"" ^ string_of_float f ^ "\""
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Bool b -> string_of_bool b
+
+let add_event b (e : event) =
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":1"
+       (json_escape e.name) e.ph e.ts_us);
+  if e.ph = 'i' then Buffer.add_string b ",\"s\":\"t\"";
+  (match e.attrs with
+  | [] -> ()
+  | attrs ->
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":%s" (json_escape k) (value_json v)))
+        attrs;
+      Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"omegacount\"}}";
+  List.iter
+    (fun e ->
+      Buffer.add_char b ',';
+      add_event b e)
+    (paired_events ());
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":%d}}"
+       (dropped ()));
+  Buffer.contents b
+
+let write_chrome oc = output_string oc (to_chrome_json ())
+
+(* ------------------------------------------------------------------ *)
+(* Self-time profile                                                   *)
+
+type pnode = {
+  mutable total_us : float;
+  mutable count : int;
+  children : (string, pnode) Hashtbl.t;
+}
+
+let pp_profile fmt () =
+  let fresh () = { total_us = 0.; count = 0; children = Hashtbl.create 8 } in
+  let root = fresh () in
+  let child n name =
+    match Hashtbl.find_opt n.children name with
+    | Some c -> c
+    | None ->
+        let c = fresh () in
+        Hashtbl.add n.children name c;
+        c
+  in
+  let stack = ref [] in
+  List.iter
+    (fun (e : event) ->
+      match e.ph with
+      | 'B' ->
+          let parent = match !stack with (n, _) :: _ -> n | [] -> root in
+          stack := (child parent e.name, e.ts_us) :: !stack
+      | 'E' -> (
+          match !stack with
+          | (n, start) :: rest ->
+              n.total_us <- n.total_us +. (e.ts_us -. start);
+              n.count <- n.count + 1;
+              stack := rest
+          | [] -> ())
+      | _ -> ())
+    (paired_events ());
+  let self n =
+    Hashtbl.fold (fun _ c acc -> acc -. c.total_us) n.children n.total_us
+  in
+  let sorted_children n =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) n.children []
+    |> List.sort (fun (_, a) (_, b) -> Float.compare (self b) (self a))
+  in
+  Format.fprintf fmt "@[<v>trace profile (micros; siblings sorted by self time)@,";
+  Format.fprintf fmt "  %-40s %12s %12s %8s@," "span" "total" "self" "count";
+  let rec emit depth name n =
+    let label = String.make (2 * depth) ' ' ^ name in
+    let label =
+      if String.length label > 40 then String.sub label 0 40 else label
+    in
+    Format.fprintf fmt "  %-40s %12.1f %12.1f %8d@," label n.total_us (self n)
+      n.count;
+    List.iter (fun (k, v) -> emit (depth + 1) k v) (sorted_children n)
+  in
+  List.iter (fun (k, v) -> emit 0 k v) (sorted_children root);
+  if dropped () > 0 then
+    Format.fprintf fmt "  (%d events dropped by the ring buffer)@," (dropped ());
+  Format.fprintf fmt "@]"

@@ -195,8 +195,18 @@ let rec disjointify depth (cls : Clause.t list) : Clause.t list =
       end
     end
 
-let to_disjoint cls =
+let to_disjoint_core cls =
   let cls = List.filter Solve.is_feasible cls in
   disjointify 0 cls
+
+let to_disjoint cls =
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "disjoint.to_disjoint"
+      ~attrs:(fun () -> [ ("clauses_in", Obs.Trace.Int (List.length cls)) ])
+      (fun () ->
+        let r = to_disjoint_core cls in
+        Obs.Trace.add_attr "clauses_out" (Obs.Trace.Int (List.length r));
+        r)
+  else to_disjoint_core cls
 
 let of_formula f = to_disjoint (Dnf.of_formula ~mode:Solve.Exact_disjoint f)

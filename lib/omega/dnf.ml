@@ -52,7 +52,7 @@ let negate_clauses (cls : Clause.t list) : Clause.t list =
     (fun acc c -> product acc (negate_clause c))
     [ Clause.top ] cls
 
-let of_formula ?(mode = Solve.Exact_overlapping) f =
+let of_formula_core mode f =
   let rec go f =
     match f with
     | F.True -> [ Clause.top ]
@@ -74,6 +74,24 @@ let of_formula ?(mode = Solve.Exact_overlapping) f =
   go f
   |> List.filter_map Gist.remove_redundant
   |> List.filter Solve.is_feasible
+
+let m_dnf_clauses =
+  Obs.Metrics.histogram "dnf.clauses" ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128 |]
+
+let of_formula ?(mode = Solve.Exact_overlapping) f =
+  let r =
+    if Obs.Trace.enabled () then
+      Obs.Trace.span "dnf.of_formula"
+        ~attrs:(fun () ->
+          [ ("mode", Obs.Trace.Str (Solve.mode_name mode)) ])
+        (fun () ->
+          let r = of_formula_core mode f in
+          Obs.Trace.add_attr "clauses" (Obs.Trace.Int (List.length r));
+          r)
+    else of_formula_core mode f
+  in
+  Obs.Metrics.observe m_dnf_clauses (List.length r);
+  r
 
 let simplify ?mode f =
   F.or_ (List.map Clause.to_formula (of_formula ?mode f))

@@ -47,7 +47,7 @@ let entails context k =
     (fun neg -> not (Solve.feasible_conjoin context neg))
     (negate_constraint k)
 
-let remove_redundant (c : Clause.t) =
+let remove_redundant_core (c : Clause.t) =
   match Clause.normalize c with
   | None -> None
   | Some c ->
@@ -67,6 +67,17 @@ let remove_redundant (c : Clause.t) =
         let ks = filter [] (constraints_of c) in
         Clause.normalize (clause_of_constraints c.wilds ks)
       end
+
+let remove_redundant (c : Clause.t) =
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "gist.remove_redundant"
+      ~attrs:(fun () -> [ ("constraints", Obs.Trace.Int (Clause.size c)) ])
+      (fun () ->
+        let r = remove_redundant_core c in
+        Obs.Trace.add_attr "constraints_out"
+          (Obs.Trace.Int (match r with None -> 0 | Some c' -> Clause.size c'));
+        r)
+  else remove_redundant_core c
 
 module GistTbl = Memo.Lru (struct
   type t = Memo.Ckey.t * Memo.Fkey.t
@@ -95,9 +106,7 @@ let gist_uncached p given =
   let ks = filter [] (constraints_of p) in
   clause_of_constraints V.Set.empty ks
 
-let gist p ~given =
-  if not (V.Set.is_empty p.Clause.wilds) then
-    invalid_arg "Gist.gist: p must be wildcard-free";
+let gist_memo p given =
   Memo.counters.gist_queries <- Memo.counters.gist_queries + 1;
   if not (Memo.enabled ()) then gist_uncached p given
   else begin
@@ -107,12 +116,29 @@ let gist p ~given =
     match GistTbl.find_opt gist_cache key with
     | Some r ->
         Memo.counters.gist_hits <- Memo.counters.gist_hits + 1;
+        if Obs.Trace.enabled () then
+          Obs.Trace.add_attr "memo" (Obs.Trace.Str "hit");
         r
     | None ->
         let r = gist_uncached p given in
         GistTbl.add ~weight:(Clause.size r) gist_cache key r;
+        if Obs.Trace.enabled () then
+          Obs.Trace.add_attr "memo" (Obs.Trace.Str "miss");
         r
   end
+
+let gist p ~given =
+  if not (V.Set.is_empty p.Clause.wilds) then
+    invalid_arg "Gist.gist: p must be wildcard-free";
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "gist"
+      ~attrs:(fun () ->
+        [
+          ("constraints", Obs.Trace.Int (Clause.size p));
+          ("given_constraints", Obs.Trace.Int (Clause.size given));
+        ])
+      (fun () -> gist_memo p given)
+  else gist_memo p given
 
 let implies p q =
   if not (Solve.is_feasible p) then true

@@ -3,6 +3,22 @@ module A = Presburger.Affine
 
 type mode = Exact_overlapping | Exact_disjoint | Approx_dark | Approx_real
 
+let mode_name = function
+  | Exact_overlapping -> "exact_overlapping"
+  | Exact_disjoint -> "exact_disjoint"
+  | Approx_dark -> "approx_dark"
+  | Approx_real -> "approx_real"
+
+(* Per-elimination fan-out (clauses produced; splintering is fan-out > 1)
+   and the depth of the projection reduction at clause emission. Always-on
+   array increments; the trace events beside them are gated on
+   [Obs.Trace.enabled] so disabled tracing allocates nothing. *)
+let m_elim_fanout =
+  Obs.Metrics.histogram "solve.elim_fanout" ~buckets:[| 1; 2; 4; 8; 16; 32; 64 |]
+
+let m_project_depth =
+  Obs.Metrics.histogram "solve.project_depth" ~buckets:[| 1; 2; 4; 8; 16; 32 |]
+
 (* Bounds on [v] among the inequalities:
    - lower (b, β):  β ≤ b·v   (from  b·v − β ≥ 0)
    - upper (a, α):  a·v ≤ α   (from  α − a·v ≥ 0)
@@ -86,7 +102,7 @@ let check_no_eq_occurrence v (c : Clause.t) =
     invalid_arg
       "Solve.eliminate: variable still occurs in equalities or strides"
 
-let eliminate_uncached mode v (c : Clause.t) : Clause.t list =
+let eliminate_core mode v (c : Clause.t) : Clause.t list =
   Memo.counters.eliminations <- Memo.counters.eliminations + 1;
   let lowers, uppers, rest = bounds v c.geqs in
   let base = { c with geqs = rest; wilds = V.Set.remove v c.wilds } in
@@ -197,6 +213,23 @@ let eliminate_uncached mode v (c : Clause.t) : Clause.t list =
           dark_clause :: List.rev !outputs
   end
 
+let eliminate_uncached mode v c =
+  let r = eliminate_core mode v c in
+  let fan_out = List.length r in
+  Obs.Metrics.observe m_elim_fanout fan_out;
+  (match r with
+  | _ :: _ :: _ when Obs.Trace.enabled () ->
+      Obs.Trace.instant "splinter"
+        ~attrs:(fun () ->
+          [
+            ("where", Obs.Trace.Str "solve.eliminate");
+            ("mode", Obs.Trace.Str (mode_name mode));
+            ("var", Obs.Trace.Str (Presburger.Var.to_string v));
+            ("fan_out", Obs.Trace.Int fan_out);
+          ])
+  | _ -> ());
+  r
+
 module ElimTbl = Memo.Lru (Memo.Ckey)
 
 let elim_cache : Clause.t list ElimTbl.t = ElimTbl.create 8192
@@ -207,8 +240,7 @@ let mode_tag = function
   | Approx_dark -> 2
   | Approx_real -> 3
 
-let eliminate mode v (c : Clause.t) : Clause.t list =
-  check_no_eq_occurrence v c;
+let eliminate_memo mode v (c : Clause.t) : Clause.t list =
   Memo.counters.elim_queries <- Memo.counters.elim_queries + 1;
   if not (Memo.enabled ()) then eliminate_uncached mode v c
   else begin
@@ -216,13 +248,32 @@ let eliminate mode v (c : Clause.t) : Clause.t list =
     match ElimTbl.find_opt elim_cache key with
     | Some r ->
         Memo.counters.elim_hits <- Memo.counters.elim_hits + 1;
+        if Obs.Trace.enabled () then
+          Obs.Trace.add_attr "memo" (Obs.Trace.Str "hit");
         r
     | None ->
         let r = eliminate_uncached mode v c in
         let w = List.fold_left (fun acc cl -> acc + Clause.size cl) 0 r in
         ElimTbl.add ~weight:w elim_cache key r;
+        if Obs.Trace.enabled () then
+          Obs.Trace.add_attr "memo" (Obs.Trace.Str "miss");
         r
   end
+
+let eliminate mode v (c : Clause.t) : Clause.t list =
+  check_no_eq_occurrence v c;
+  (* Guarded span: the disabled path must not even build the closure for
+     the attribute list, so hot loops stay allocation-free. *)
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "solve.eliminate"
+      ~attrs:(fun () ->
+        [
+          ("var", Obs.Trace.Str (V.to_string v));
+          ("mode", Obs.Trace.Str (mode_name mode));
+          ("constraints", Obs.Trace.Int (Clause.size c));
+        ])
+      (fun () -> eliminate_memo mode v c)
+  else eliminate_memo mode v c
 
 (* Wildcard-occurrence classification used by the reduction loop. *)
 let wild_occurrences (c : Clause.t) =
@@ -236,7 +287,7 @@ let wild_occurrences (c : Clause.t) =
 
 let max_reduction_steps = 10_000
 
-let project mode vars (c : Clause.t) : Clause.t list =
+let project_core mode vars (c : Clause.t) : Clause.t list =
   let c = { c with wilds = V.Set.union c.wilds (V.Set.of_list vars) } in
   let out = ref [] in
   let rec reduce steps c =
@@ -307,6 +358,7 @@ let project mode vars (c : Clause.t) : Clause.t list =
                         List.iter (reduce (steps + 1)) (eliminate mode w c)
                     | None ->
                         (* no constrained wildcards remain *)
+                        Obs.Metrics.observe m_project_depth steps;
                         out := { c with wilds = V.Set.empty } :: !out
                   end
               end
@@ -315,6 +367,21 @@ let project mode vars (c : Clause.t) : Clause.t list =
   in
   reduce 0 c;
   List.rev !out
+
+let project mode vars (c : Clause.t) : Clause.t list =
+  if Obs.Trace.enabled () then
+    Obs.Trace.span "solve.project"
+      ~attrs:(fun () ->
+        [
+          ("vars", Obs.Trace.Int (List.length vars));
+          ("mode", Obs.Trace.Str (mode_name mode));
+          ("constraints", Obs.Trace.Int (Clause.size c));
+        ])
+      (fun () ->
+        let r = project_core mode vars c in
+        Obs.Trace.add_attr "clauses_out" (Obs.Trace.Int (List.length r));
+        r)
+  else project_core mode vars c
 
 module FeasTbl = Memo.Lru (Memo.Fkey)
 

@@ -26,6 +26,9 @@ type mode =
   | Approx_dark  (** dark shadow only: an under-approximation. *)
   | Approx_real  (** real shadow only: an over-approximation. *)
 
+(** Stable lowercase name of a mode, used as a trace/report attribute. *)
+val mode_name : mode -> string
+
 (** [eliminate_via_eq v c] exactly eliminates [v] using an equality of [c]
     that contains it (the one with the smallest coefficient): from
     [k·v = rhs] it records the stride [|k| divides rhs] and substitutes

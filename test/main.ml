@@ -17,5 +17,6 @@ let () =
       Test_crosscut.suite;
       Test_differential.suite;
       Test_props.suite;
+      Test_trace.suite;
       Test_alloc.suite;
     ]

@@ -1,0 +1,456 @@
+(* Observability subsystem tests (Obs.Trace / Obs.Metrics):
+
+   - property: the Chrome trace-event JSON emitted for a random span tree
+     is well-formed and properly nested — every "E" closes the innermost
+     open "B" and nothing stays open;
+   - ring overflow: a tiny capacity drops oldest events but the export is
+     still well-formed and well-nested, and reports the drop count;
+   - phase re-entry: nesting the same phase counts both entries but does
+     not double-count wall time (the Instr.time_phase contract);
+   - disabled tracing allocates zero minor words (the guard that keeps
+     instrumented hot paths free when tracing is off);
+   - metrics: histogram bucket placement and snapshot/diff arithmetic;
+   - integration: tracing a real count records the DNF span, per-clause
+     spans nested under the "sum" phase, and a splinter instant carrying
+     its fan-out. *)
+
+module T = Obs.Trace
+module M = Obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON parser — just enough to validate the Chrome export
+   (the toolchain has no JSON library; parsing failures are the point). *)
+
+type json =
+  | Null
+  | JBool of bool
+  | Num of float
+  | JStr of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let bad msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else bad "unexpected end" in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then bad (Printf.sprintf "expected %c" c);
+    advance ()
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              for _ = 1 to 4 do
+                advance ();
+                match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | _ -> bad "bad \\u escape"
+              done;
+              Buffer.add_char b '?'
+          | _ -> bad "bad escape");
+          advance ();
+          go ()
+      | c ->
+          if Char.code c < 0x20 then bad "control char in string";
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> bad "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> bad "expected , or }"
+          in
+          members []
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                items (v :: acc)
+            | ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> bad "expected , or ]"
+          in
+          items []
+        end
+    | '"' -> JStr (parse_string ())
+    | 't' -> literal "true" (JBool true)
+    | 'f' -> literal "false" (JBool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage";
+  v
+
+let member k = function Obj l -> List.assoc_opt k l | _ -> None
+
+let member_exn k j =
+  match member k j with
+  | Some v -> v
+  | None -> raise (Bad_json (Printf.sprintf "missing member %S" k))
+
+(* Walk exported traceEvents checking the span stack discipline: every
+   "E" names the innermost open "B" and nothing is left open. *)
+let check_nesting events =
+  let final =
+    List.fold_left
+      (fun stack e ->
+        match member_exn "ph" e with
+        | JStr "B" -> (
+            match member_exn "name" e with
+            | JStr name -> name :: stack
+            | _ -> Alcotest.fail "B event without string name")
+        | JStr "E" -> (
+            match (member_exn "name" e, stack) with
+            | JStr name, top :: rest ->
+                Alcotest.(check string) "E closes innermost open B" top name;
+                rest
+            | _, [] -> Alcotest.fail "E event with no span open"
+            | _ -> Alcotest.fail "E event without string name")
+        | JStr _ -> stack
+        | _ -> Alcotest.fail "event without ph")
+      [] events
+  in
+  Alcotest.(check (list string)) "no span left open" [] final
+
+let trace_events_of_json j =
+  match member_exn "traceEvents" j with
+  | Arr evs -> evs
+  | _ -> Alcotest.fail "traceEvents is not an array"
+
+(* All trace tests restore the global switch and ring. *)
+let with_tracing ?(cap = 65536) f =
+  let saved_cap = T.capacity () in
+  T.set_capacity cap;
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.set_capacity saved_cap)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Property: random span trees export to well-formed, well-nested JSON  *)
+
+type tree = Node of int * tree list
+
+let rec pp_tree (Node (i, kids)) =
+  Printf.sprintf "s%d(%s)" i (String.concat "," (List.map pp_tree kids))
+
+let tree_gen =
+  QCheck.Gen.(
+    sized_size (int_range 0 40)
+    @@ fix (fun self budget ->
+           if budget <= 0 then map (fun i -> Node (i, [])) (int_range 0 9)
+           else
+             map2
+               (fun i kids -> Node (i, kids))
+               (int_range 0 9)
+               (list_size (int_range 0 3) (self (budget / 4)))))
+
+let tree_arb = QCheck.make tree_gen ~print:pp_tree
+
+let rec exec_tree (Node (i, kids)) =
+  T.span
+    ~attrs:(fun () -> [ ("i", T.Int i) ])
+    (Printf.sprintf "s%d" i)
+    (fun () ->
+      if i mod 3 = 0 then T.instant "tick";
+      if i mod 4 = 0 then T.add_attr "mark" (T.Bool true);
+      List.iter exec_tree kids)
+
+let prop_chrome_json_nested =
+  QCheck.Test.make ~name:"chrome export well-formed and nested" ~count:100
+    tree_arb (fun t ->
+      with_tracing (fun () ->
+          exec_tree t;
+          let j = parse_json (T.to_chrome_json ()) in
+          check_nesting (trace_events_of_json j);
+          true))
+
+(* ------------------------------------------------------------------ *)
+(* Ring overflow                                                        *)
+
+let test_ring_overflow () =
+  with_tracing ~cap:16 (fun () ->
+      (* 40 sibling spans = 80 events: the first spans' B events are
+         overwritten, leaving orphan Es at the front of the ring. *)
+      for i = 1 to 40 do
+        T.span (Printf.sprintf "s%d" i) (fun () -> ())
+      done;
+      Alcotest.(check bool) "events were dropped" true (T.dropped () > 0);
+      let j = parse_json (T.to_chrome_json ()) in
+      check_nesting (trace_events_of_json j);
+      match member_exn "dropped_events" (member_exn "otherData" j) with
+      | Num d -> Alcotest.(check bool) "drop count exported" true (d > 0.)
+      | _ -> Alcotest.fail "dropped_events is not a number")
+
+(* An unclosed span (dump mid-run) must be closed by the exporter. *)
+let test_open_span_repair () =
+  with_tracing (fun () ->
+      (try
+         T.span "outer" (fun () ->
+             T.instant "inside";
+             failwith "boom")
+       with Failure _ -> ());
+      (* the span recorded its E via Fun.protect; also leave one truly
+         open by recording a bare B through a span that never returns —
+         simulate by dumping from inside. *)
+      T.span "open" (fun () ->
+          let j = parse_json (T.to_chrome_json ()) in
+          check_nesting (trace_events_of_json j)))
+
+(* ------------------------------------------------------------------ *)
+(* Phase re-entry (the Instr.time_phase double-count fix)               *)
+
+let busy_wait seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ()
+  done
+
+let test_phase_reentry () =
+  T.reset_phases ();
+  let dt = 0.02 in
+  let wall0 = Unix.gettimeofday () in
+  T.phase "p" (fun () -> T.phase "p" (fun () -> busy_wait dt));
+  let wall = Unix.gettimeofday () -. wall0 in
+  match List.assoc_opt "p" (T.phase_totals ()) with
+  | None -> Alcotest.fail "phase p not recorded"
+  | Some (seconds, entries) ->
+      Alcotest.(check int) "both entries counted" 2 entries;
+      (* Double-counting would report ~2x the elapsed wall time. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "no double count (%.4fs vs %.4fs wall)" seconds wall)
+        true
+        (seconds <= (wall *. 1.5) +. 0.001);
+      Alcotest.(check bool) "time was accumulated" true (seconds >= dt *. 0.5)
+
+let test_phase_totals_reset () =
+  T.reset_phases ();
+  T.phase "q" (fun () -> ());
+  Alcotest.(check bool)
+    "q recorded" true
+    (List.mem_assoc "q" (T.phase_totals ()));
+  T.reset_phases ();
+  Alcotest.(check (list string)) "reset clears" []
+    (List.map fst (T.phase_totals ()))
+
+(* ------------------------------------------------------------------ *)
+(* Disabled tracing allocates nothing                                   *)
+
+let nop () = ()
+
+let test_disabled_zero_alloc () =
+  Alcotest.(check bool) "tracing is off" false (T.enabled ());
+  (* warm-up: fault in any lazy initialization *)
+  T.span "warm" nop;
+  T.instant "warm";
+  T.add_attr "k" (T.Int 0);
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    T.span "x" nop;
+    T.instant "x";
+    T.add_attr "k" (T.Bool false)
+  done;
+  let words = Gc.minor_words () -. before in
+  if words > 0. then
+    Alcotest.failf "disabled tracing allocated %.0f minor words" words
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+
+let test_metrics_counter () =
+  let c = M.counter "test.counter" in
+  let before = M.snapshot () in
+  M.incr c;
+  M.incr ~by:4 c;
+  let d = M.diff (M.snapshot ()) before in
+  match List.assoc_opt "test.counter" d with
+  | Some (M.Count 5) -> ()
+  | Some _ -> Alcotest.fail "wrong counter delta"
+  | None -> Alcotest.fail "counter missing from diff"
+
+let test_metrics_histogram_buckets () =
+  let h = M.histogram "test.hist" ~buckets:[| 1; 2; 4 |] in
+  let before = M.snapshot () in
+  List.iter (M.observe h) [ 0; 1; 2; 3; 4; 5; 100 ];
+  let d = M.diff (M.snapshot ()) before in
+  match List.assoc_opt "test.hist" d with
+  | Some (M.Hist { bounds; counts; count; sum }) ->
+      Alcotest.(check (array int)) "bounds kept" [| 1; 2; 4 |] bounds;
+      (* <=1: {0,1}; <=2: {2}; <=4: {3,4}; overflow: {5,100} *)
+      Alcotest.(check (array int)) "bucket placement" [| 2; 1; 2; 2 |] counts;
+      Alcotest.(check int) "count" 7 count;
+      Alcotest.(check int) "sum" 115 sum
+  | _ -> Alcotest.fail "histogram missing from diff"
+
+let test_metrics_registration () =
+  let c1 = M.counter "test.idem" in
+  let c2 = M.counter "test.idem" in
+  M.incr c1;
+  M.incr c2;
+  (match List.assoc_opt "test.idem" (M.snapshot ()) with
+  | Some (M.Count n) ->
+      Alcotest.(check bool) "same underlying counter" true (n >= 2)
+  | _ -> Alcotest.fail "counter not in snapshot");
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics.histogram: test.idem is a counter") (fun () ->
+      ignore (M.histogram "test.idem" ~buckets:[| 1 |]));
+  Alcotest.check_raises "non-ascending buckets rejected"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly ascending")
+    (fun () -> ignore (M.histogram "test.bad" ~buckets:[| 3; 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Integration: a real traced count                                     *)
+
+let test_traced_count () =
+  let q =
+    Preslang.parse_query "count { i, j : 1 <= i and j <= n and 2*i <= 3*j }"
+  in
+  let evs =
+    with_tracing (fun () ->
+        ignore
+          (Counting.Engine.sum ~vars:q.Preslang.vars q.Preslang.formula
+             q.Preslang.summand);
+        T.paired_events ())
+  in
+  let has_b name =
+    List.exists (fun (e : T.event) -> e.ph = 'B' && e.name = name) evs
+  in
+  Alcotest.(check bool) "dnf.of_formula span" true (has_b "dnf.of_formula");
+  Alcotest.(check bool) "clause span" true (has_b "clause");
+  (* per-clause spans are nested inside the "sum" phase span *)
+  let clause_inside_sum =
+    let rec go stack = function
+      | [] -> false
+      | (e : T.event) :: rest -> (
+          match e.ph with
+          | 'B' when e.name = "clause" && List.mem "sum" stack -> true
+          | 'B' -> go (e.name :: stack) rest
+          | 'E' -> go (match stack with _ :: s -> s | [] -> []) rest
+          | _ -> go stack rest)
+    in
+    go [] evs
+  in
+  Alcotest.(check bool) "clause nested under sum" true clause_inside_sum;
+  (* 2i <= 3j forces residue splintering: a splinter instant with its
+     fan-out attribute must be present *)
+  let splinter_fanout =
+    List.find_map
+      (fun (e : T.event) ->
+        if e.ph = 'i' && e.name = "splinter" then
+          List.assoc_opt "fan_out" e.attrs
+        else None)
+      evs
+  in
+  match splinter_fanout with
+  | Some (T.Int f) ->
+      Alcotest.(check bool) "splinter fan-out > 1" true (f > 1)
+  | _ -> Alcotest.fail "no splinter event with fan_out attribute"
+
+let suite =
+  ( "trace",
+    [
+      QCheck_alcotest.to_alcotest prop_chrome_json_nested;
+      Alcotest.test_case "ring overflow stays well-formed" `Quick
+        test_ring_overflow;
+      Alcotest.test_case "open spans repaired at export" `Quick
+        test_open_span_repair;
+      Alcotest.test_case "phase re-entry does not double-count" `Quick
+        test_phase_reentry;
+      Alcotest.test_case "phase totals reset" `Quick test_phase_totals_reset;
+      Alcotest.test_case "disabled tracing allocates nothing" `Quick
+        test_disabled_zero_alloc;
+      Alcotest.test_case "metrics counter diff" `Quick test_metrics_counter;
+      Alcotest.test_case "metrics histogram buckets" `Quick
+        test_metrics_histogram_buckets;
+      Alcotest.test_case "metrics registration rules" `Quick
+        test_metrics_registration;
+      Alcotest.test_case "traced count records spans and splinters" `Quick
+        test_traced_count;
+    ] )
