@@ -616,6 +616,51 @@ let instr_report emit =
   Omega.Memo.set_enabled true
 
 (* ------------------------------------------------------------------ *)
+(* Serial vs parallel                                                   *)
+
+(* The multi-clause / multi-splinter experiments, timed cold at jobs = 1
+   and again at the configured parallel jobs count (defaulting to 4 when
+   the harness runs with the pool disabled). Best-of-k wall time; the
+   counted values are byte-identical by construction, so only time is
+   compared. On a single-core machine the "speedup" honestly records the
+   pool's overhead (≤ 1×). *)
+let par_experiments =
+  List.filter
+    (fun (label, _, _) ->
+      List.mem label [ "E4_example4"; "E6_example6"; "S33_hpf_ownership" ])
+    instr_experiments
+
+let time_best ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    Omega.Memo.clear_all ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let par_report emit =
+  let saved = Counting.Pool.jobs () in
+  let par_jobs = if saved > 1 then saved else 4 in
+  Printf.printf
+    "Serial vs parallel (cold caches, best of 3, %d cores available):\n"
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun (label, _, f) ->
+      Counting.Pool.set_jobs 1;
+      let serial_s = time_best ~reps:3 f in
+      Counting.Pool.set_jobs par_jobs;
+      let parallel_s = time_best ~reps:3 f in
+      Counting.Pool.set_jobs saved;
+      emit
+        (Printf.sprintf
+           "{\"label\":\"par_compare_%s\",\"jobs\":%d,\"serial_s\":%.6f,\"parallel_s\":%.6f,\"par_speedup\":%.2f}"
+           label par_jobs serial_s parallel_s (serial_s /. parallel_s)))
+    par_experiments
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                      *)
 
 open Bechamel
@@ -703,6 +748,9 @@ let () =
   in
   let json_file = find_arg "--json" in
   let trace_file = find_arg "--trace" in
+  (match Option.bind (find_arg "--jobs") int_of_string_opt with
+  | Some n -> Counting.Pool.set_jobs n
+  | None -> ());
   let json_oc = Option.map open_out json_file in
   let emit line =
     Printf.printf "%s\n" line;
@@ -717,6 +765,7 @@ let () =
      below would perturb the very numbers they measure. *)
   Option.iter (fun _ -> Obs.Trace.set_enabled true) trace_file;
   instr_report emit;
+  par_report emit;
   Option.iter
     (fun f ->
       Obs.Trace.set_enabled false;

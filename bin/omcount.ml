@@ -144,6 +144,11 @@ let () =
                | _ -> Counting.Engine.Exact)),
         "  rational-bound strategy (default exact)" );
       ("--no-merge", Arg.Clear merge, "  do not merge residue classes");
+      ( "--jobs",
+        Arg.Int Counting.Pool.set_jobs,
+        "N  use N domains for clause/splinter fan-out (default \
+         $OMEGA_JOBS or the machine's core count; output is identical \
+         for every N)" );
       ( "--stats",
         Arg.Set stats,
         "  print phase timings, memo counters, and Gc allocation words \

@@ -67,13 +67,20 @@ let m_piece_depth =
 
 exception Unbounded of string
 
-let sum_var_counter = ref 0
+(* Atomic so concurrent tasks never mint the same name. The name is
+   zero-padded because [Named] variables compare lexicographically:
+   without padding, "%w10" < "%w9" would make the relative order of two
+   fresh variables depend on the absolute counter values — which differ
+   between serial and parallel schedules — and the engine's variable
+   ordering would diverge. Padded names order by creation time at any
+   counter offset, so every comparison the engine makes is
+   schedule-independent. *)
+let sum_var_counter = Atomic.make 0
 
 let fresh_sum_var () =
-  incr sum_var_counter;
-  V.named (Printf.sprintf "%%w%d" !sum_var_counter)
+  V.named (Printf.sprintf "%%w%06d" (1 + Atomic.fetch_and_add sum_var_counter 1))
 
-let reset_fresh_sum_var () = sum_var_counter := 0
+let reset_fresh_sum_var () = Atomic.set sum_var_counter 0
 
 let max_steps = 20_000
 
@@ -141,6 +148,44 @@ let lower_geq v (b, beta) = A.sub (A.scale b (A.var v)) beta
 let upper_geq v (a, alpha) = A.sub alpha (A.scale a (A.var v))
 
 let remove_var vars v = List.filter (fun u -> not (V.equal u v)) vars
+
+(* ------------------------------------------------------------------ *)
+(* Parallel fan-out support                                            *)
+
+(* Forked tasks mutate a private [stats] record; the parent absorbs them
+   after the join. Field sums are order-independent, so parallel stats
+   equal serial stats exactly. *)
+let absorb_stats into s =
+  into.dnf_clauses <- into.dnf_clauses + s.dnf_clauses;
+  into.bound_splits <- into.bound_splits + s.bound_splits;
+  into.residue_splinters <- into.residue_splinters + s.residue_splinters;
+  into.pieces <- into.pieces + s.pieces
+
+(* Only branches near the root of the recursion are worth a task each:
+   deeper splits are small, and the clause-level fan-out above them has
+   already spread the work across the pool. *)
+let fork_fuel_limit = 3
+
+(* [fork_branches stats fuel n case] evaluates [case 0 … case (n-1)] —
+   each branch writing a [stats] record it is given — and concatenates
+   the results in branch index order. With the pool enabled and shallow
+   [fuel], branches become pool tasks with private stats records; the
+   index-order concatenation makes the result identical to the serial
+   path. *)
+let fork_branches stats fuel n case =
+  if n > 1 && fuel <= fork_fuel_limit && Pool.parallel_enabled () then begin
+    let results =
+      Pool.map_list
+        (fun t ->
+          let st = new_stats () in
+          let r = case t st in
+          (r, st))
+        (List.init n (fun t -> t))
+    in
+    List.iter (fun (_, st) -> absorb_stats stats st) results;
+    Merge.combine (List.map fst results)
+  end
+  else Merge.combine (List.init n (fun t -> case t stats))
 
 let rec go opts stats vars poly (clause : C.t) fuel : Value.t =
   if fuel > max_steps then failwith "Counting: reduction did not terminate";
@@ -233,20 +278,19 @@ and convex opts stats vars poly clause fuel : Value.t =
         let arr = Array.of_list chosen_bounds in
         let n = Array.length arr in
         stats.bound_splits <- stats.bound_splits + n - 1;
-        List.concat
-          (List.init n (fun t ->
-               let guards = ref [] in
-               for j = 0 to n - 1 do
-                 if j <> t then begin
-                   let ct, et = arr.(t) and cj, ej = arr.(j) in
-                   (* et/ct vs ej/cj  ⇒  cj·et vs ct·ej *)
-                   let diff = A.sub (A.scale ct ej) (A.scale cj et) in
-                   let g = if j < t then A.add_const diff Zint.minus_one else diff in
-                   guards := g :: !guards
-                 end
-               done;
-               let clause' = rebuild arr.(t) !guards in
-               go opts stats vars poly clause' (fuel + 1)))
+        fork_branches stats fuel n (fun t st ->
+            let guards = ref [] in
+            for j = 0 to n - 1 do
+              if j <> t then begin
+                let ct, et = arr.(t) and cj, ej = arr.(j) in
+                (* et/ct vs ej/cj  ⇒  cj·et vs ct·ej *)
+                let diff = A.sub (A.scale ct ej) (A.scale cj et) in
+                let g = if j < t then A.add_const diff Zint.minus_one else diff in
+                guards := g :: !guards
+              end
+            done;
+            let clause' = rebuild arr.(t) !guards in
+            go opts st vars poly clause' (fuel + 1))
       in
       if List.length uppers > 1 then
         split_cases uppers (fun u guards ->
@@ -263,28 +307,27 @@ and convex opts stats vars poly clause fuel : Value.t =
         let arr = Array.of_list lowers in
         let n = Array.length arr in
         stats.bound_splits <- stats.bound_splits + n - 1;
-        List.concat
-          (List.init n (fun t ->
-               let guards = ref [] in
-               for j = 0 to n - 1 do
-                 if j <> t then begin
-                   let ct, et = arr.(t) and cj, ej = arr.(j) in
-                   (* binding lower: et/ct >= ej/cj ⇒ cj·et − ct·ej ≥ 0 *)
-                   let diff = A.sub (A.scale cj et) (A.scale ct ej) in
-                   let g = if j < t then A.add_const diff Zint.minus_one else diff in
-                   guards := g :: !guards
-                 end
-               done;
-               let clause' =
-                 {
-                   clause with
-                   geqs =
-                     (lower_geq v arr.(t)
-                     :: List.map (upper_geq v) uppers)
-                     @ !guards @ rest;
-                 }
-               in
-               go opts stats vars poly clause' (fuel + 1)))
+        fork_branches stats fuel n (fun t st ->
+            let guards = ref [] in
+            for j = 0 to n - 1 do
+              if j <> t then begin
+                let ct, et = arr.(t) and cj, ej = arr.(j) in
+                (* binding lower: et/ct >= ej/cj ⇒ cj·et − ct·ej ≥ 0 *)
+                let diff = A.sub (A.scale cj et) (A.scale ct ej) in
+                let g = if j < t then A.add_const diff Zint.minus_one else diff in
+                guards := g :: !guards
+              end
+            done;
+            let clause' =
+              {
+                clause with
+                geqs =
+                  (lower_geq v arr.(t)
+                  :: List.map (upper_geq v) uppers)
+                  @ !guards @ rest;
+              }
+            in
+            go opts st vars poly clause' (fuel + 1))
       end
       else begin
         let [@warning "-8"] [ (b, beta) ] = lowers
@@ -386,11 +429,12 @@ and single_pair opts stats vars poly clause fuel v ~rest (b, beta) (a, alpha)
                 ("upper_mod", Obs.Trace.Int ai);
                 ("fan_out", Obs.Trace.Int (ai * bi));
               ]);
-        let residues n = List.init n (fun r -> r) in
-        List.concat_map
-          (fun rb ->
-            List.concat_map
-              (fun ra ->
+        (* Branch t covers residue pair (rb, ra) = (t / ai, t mod ai):
+           the same rb-outer, ra-inner order as a serial nested loop, so
+           the index-order join reproduces the serial piece order. *)
+        fork_branches stats fuel (ai * bi) (fun t st ->
+            let rb = t / ai and ra = t mod ai in
+            begin
                 let zrb = Zint.of_int rb and zra = Zint.of_int ra in
                 let delta = if rb > 0 then Zint.one else Zint.zero in
                 (* L = (β − rb)/b + δ ; U = (α − ra)/a *)
@@ -430,53 +474,72 @@ and single_pair opts stats vars poly clause fuel v ~rest (b, beta) (a, alpha)
                     strides = strides @ base_clause.strides;
                   }
                 in
-                recurse inner clause')
-              (residues ai))
-          (residues bi)
+                go opts st vars' inner clause' (fuel + 1)
+            end)
   end
 
 (* Ambient stats installed by [with_instr], so instrumented runs see
-   engine counts without threading a [stats] through every caller. *)
-let ambient_stats : stats option ref = ref None
+   engine counts without threading a [stats] through every caller.
+   Domain-local: concurrent counts from other domains (the pool's, or a
+   caller's own) never share the instrumented domain's record. *)
+let ambient_stats_key : stats option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let ambient_stats () = Domain.DLS.get ambient_stats_key
 
 let resolve_stats = function
   | Some s -> s
-  | None -> ( match !ambient_stats with Some s -> s | None -> new_stats ())
+  | None -> (
+      match !(ambient_stats ()) with Some s -> s | None -> new_stats ())
 
 let sum_clauses ?(opts = default) ?stats ~vars cls poly =
   let stats = resolve_stats stats in
   let vs = List.map V.named vars in
   stats.dnf_clauses <- stats.dnf_clauses + List.length cls;
   Obs.Metrics.observe m_dnf_clauses (List.length cls);
+  (* One traced span per disjunct, with per-clause wall time fed to the
+     clause_us histogram. On a pool worker the span lands in that
+     worker's ring; the export merges rings, so the per-clause spans
+     survive parallel runs. *)
+  let clause_task i c st =
+    Obs.Trace.span "clause"
+      ~attrs:(fun () ->
+        [
+          ("index", Obs.Trace.Int i);
+          ("constraints", Obs.Trace.Int (Omega.Clause.size c));
+          ("vars", Obs.Trace.Int (List.length vs));
+        ])
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let r = go opts st vs poly c 0 in
+        let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        Obs.Metrics.observe m_clause_us us;
+        Obs.Trace.add_attr "pieces" (Obs.Trace.Int (List.length r));
+        r)
+  in
   let pieces =
     Instr.time_phase "sum" (fun () ->
-        if Obs.Trace.enabled () then
-          (* Traced path: one span per disjunct, with per-clause wall time
-             fed to the clause_us histogram. The untraced path below stays
-             a plain concat_map so disabled tracing allocates nothing
-             extra. *)
-          List.concat
-            (List.mapi
-               (fun i c ->
-                 Obs.Trace.span "clause"
-                   ~attrs:(fun () ->
-                     [
-                       ("index", Obs.Trace.Int i);
-                       ("constraints", Obs.Trace.Int (Omega.Clause.size c));
-                       ("vars", Obs.Trace.Int (List.length vs));
-                     ])
-                   (fun () ->
-                     let t0 = Unix.gettimeofday () in
-                     let r = go opts stats vs poly c 0 in
-                     let us =
-                       int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
-                     in
-                     Obs.Metrics.observe m_clause_us us;
-                     Obs.Trace.add_attr "pieces"
-                       (Obs.Trace.Int (List.length r));
-                     r))
-               cls)
-        else List.concat_map (fun c -> go opts stats vs poly c 0) cls)
+        if Pool.parallel_enabled () && List.length cls > 1 then begin
+          (* Clause-level fan-out: one pool task per disjunct, private
+             stats records, results concatenated in original clause
+             order — the deterministic merge. *)
+          let results =
+            Pool.map_list
+              (fun (i, c) ->
+                let st = new_stats () in
+                let r = clause_task i c st in
+                (r, st))
+              (List.mapi (fun i c -> (i, c)) cls)
+          in
+          List.iter (fun (_, st) -> absorb_stats stats st) results;
+          Merge.combine (List.map fst results)
+        end
+        else if Obs.Trace.enabled () then
+          Merge.combine (List.mapi (fun i c -> clause_task i c stats) cls)
+        else
+          (* The untraced serial path stays a plain concat_map so
+             disabled tracing allocates nothing extra. *)
+          List.concat_map (fun c -> go opts stats vs poly c 0) cls)
   in
   Instr.time_phase "simplify" (fun () -> Value.simplify pieces)
 
@@ -513,10 +576,11 @@ let stats_fields s =
 
 let with_instr ?label ?(meta = []) f =
   let s = new_stats () in
-  let saved = !ambient_stats in
-  ambient_stats := Some s;
+  let cell = ambient_stats () in
+  let saved = !cell in
+  cell := Some s;
   Fun.protect
-    ~finally:(fun () -> ambient_stats := saved)
+    ~finally:(fun () -> cell := saved)
     (fun () ->
       Instr.collect ?label ~options:meta
         ~counts:(fun () -> stats_fields s)

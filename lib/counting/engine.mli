@@ -117,16 +117,24 @@ val sum_clauses :
     and the memo hit/miss and metrics-registry deltas are captured.
     [meta] (e.g. [opts_fields opts]) is recorded verbatim as the report's
     [options], making emitted JSON self-describing. Returns [f]'s result
-    with the {!Instr.report}. Not reentrant (the phase table is
-    global). *)
+    with the {!Instr.report}. Not reentrant within one domain (the
+    ambient stats cell is domain-local; pool tasks spawned by [f] carry
+    their own stats records and are absorbed by the engine). *)
 val with_instr :
   ?label:string ->
   ?meta:(string * string) list ->
   (unit -> 'a) ->
   'a * Instr.report
 
-(** [fresh_sum_var] names for stride substitution come from a global
-    counter; [reset_fresh_sum_var] rewinds it so a repeated computation
+(** [fresh_sum_var ()] mints a fresh name for stride substitution from a
+    global {e atomic} counter, so concurrent domains never receive the
+    same name. Names are zero-padded (["%w000042"]) so their
+    lexicographic order equals creation order regardless of where the
+    counter stands — part of the parallel-equals-serial output
+    guarantee. *)
+val fresh_sum_var : unit -> Presburger.Var.t
+
+(** [reset_fresh_sum_var] rewinds the counter so a repeated computation
     produces syntactically identical results (tests; see also
     {!Presburger.Var.reset_fresh}). *)
 val reset_fresh_sum_var : unit -> unit

@@ -107,6 +107,27 @@ let transferable ~stride ~from_guard ~to_guard ~value =
   C.to_string from_guard = C.to_string to_guard
   || (zero_on_diff to_guard from_guard && zero_on_diff from_guard to_guard)
 
+(* ------------------------------------------------------------------ *)
+(* Deterministic fan-out reduction *)
+
+(* The reduction the engine uses to merge per-task results back into one
+   value. Concatenation in input order: since [Value.t] denotes the sum
+   of its pieces, any concatenation order denotes the same function, but
+   fixing input order makes the parallel engine's output byte-identical
+   to the serial engine's. *)
+let combine (parts : Value.t list) : Value.t = List.concat parts
+
+let compare_piece (a : Value.piece) (b : Value.piece) =
+  match String.compare (C.to_string a.guard) (C.to_string b.guard) with
+  | 0 -> Qpoly.compare a.value b.value
+  | c -> c
+
+(* [Value.simplify] normalizes guards and folds same-guard pieces (with
+   commutative [Qpoly.add]), so after sorting by guard the result no
+   longer depends on the order pieces were produced in. *)
+let canonical (v : Value.t) : Value.t =
+  List.sort compare_piece (Value.simplify v)
+
 type member = {
   residue : Zint.t;
   rest_guard : C.t;

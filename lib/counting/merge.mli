@@ -14,3 +14,20 @@
     complete residue family are returned unchanged. The result denotes the
     same function as the input. *)
 val merge_residues : Value.t -> Value.t
+
+(** {1 Deterministic fan-out reduction} *)
+
+(** [combine parts] merges per-task partial values back into one value by
+    concatenating them in input (task-index) order. Since a {!Value.t}
+    denotes the sum of its pieces, [combine] is associative and
+    order-insensitive {e as a function}; fixing input order additionally
+    makes the parallel engine's output byte-identical to the serial
+    engine's. *)
+val combine : Value.t list -> Value.t
+
+(** A canonical form for comparing values up to piece order:
+    [Value.simplify] (normalize guards, fold same-guard pieces) followed
+    by a total sort on (guard, value). [canonical (combine parts)] is
+    invariant under permutation of [parts] and under re-association of
+    nested [combine]s. *)
+val canonical : Value.t -> Value.t

@@ -1,0 +1,56 @@
+(** A fixed work-stealing domain pool for the counting engine.
+
+    The pool holds [jobs - 1] worker domains (the submitting domain is
+    worker 0 and participates while joining), each with its own task
+    queue; idle workers steal from other queues and block on a condition
+    variable when everything is dry. Tasks are chunky — whole DNF
+    clauses or splinter branches — so queue traffic is negligible next
+    to task work.
+
+    {b Determinism.} The pool never reorders results: {!map_list}
+    returns results in input order, tasks are pure functions of their
+    inputs, and the engine concatenates per-task pieces in original
+    index order, so parallel output is byte-identical to serial output.
+
+    {b Deadlock freedom.} {!await} claims not-yet-started tasks and runs
+    them inline, helps with other queued work while its target runs
+    elsewhere, and sleeps only when there is nothing to do; every task
+    completion broadcasts. Nested fork/join is safe: the dependency
+    graph is a tree.
+
+    Observability: the pool accounts [pool.tasks], [pool.steals],
+    [pool.busy_us] and per-worker [pool.worker<i>.tasks] counters in
+    {!Obs.Metrics}, so [Engine.with_instr] and [omcount --stats] pick
+    them up like any other metric. *)
+
+(** Number of jobs (total domains, including the submitting one). The
+    initial value comes from [OMEGA_JOBS], defaulting to
+    [Domain.recommended_domain_count ()]. *)
+val jobs : unit -> int
+
+(** [set_jobs n] (clamped to [1, 64]) changes the pool size; an existing
+    pool of a different size is torn down and respawned lazily on next
+    use. [set_jobs 1] disables parallelism entirely — every fan-out
+    point falls back to the plain serial code path. *)
+val set_jobs : int -> unit
+
+(** [jobs () > 1]: whether fan-out points should use the pool. *)
+val parallel_enabled : unit -> bool
+
+type 'a future
+
+(** [spawn f] queues [f] on the calling domain's queue (runs [f]
+    immediately when [jobs () = 1]). Exceptions raised by [f] are
+    captured and re-raised by {!await} with their backtrace. *)
+val spawn : (unit -> 'a) -> 'a future
+
+val await : 'a future -> 'a
+
+(** [map_list f xs]: apply [f] to every element through the pool,
+    returning results in input order. Serial ([List.map]) when the pool
+    is disabled or [xs] has fewer than two elements. *)
+val map_list : ('a -> 'b) -> 'a list -> 'b list
+
+(** Join all worker domains and drop the pool (respawned lazily on next
+    use). Registered [at_exit]. *)
+val teardown : unit -> unit

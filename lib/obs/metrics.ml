@@ -1,30 +1,40 @@
 (* Counters and fixed-bucket histograms. The hot operations ([incr],
-   [observe]) are integer stores into preallocated arrays/records so the
-   registry can stay on in production runs; snapshotting allocates, but
-   only the instrumentation layer does that, once per measured run. *)
+   [observe]) are atomic fetch-and-adds into preallocated cells so the
+   registry can stay on in production runs — and so concurrent domains
+   never lose increments; snapshotting allocates, but only the
+   instrumentation layer does that, once per measured run. The registry
+   table itself is guarded by a mutex (registration is cold: once per
+   metric per process). *)
 
 type kind =
-  | Counter of { mutable n : int }
+  | Counter of { n : int Atomic.t }
   | Histogram of {
       bounds : int array;  (* ascending inclusive upper bounds *)
-      counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
-      mutable count : int;
-      mutable sum : int;
+      counts : int Atomic.t array;
+          (* length = Array.length bounds + 1 (overflow) *)
+      count : int Atomic.t;
+      sum : int Atomic.t;
     }
 
 type t = { name : string; kind : kind }
 
+let registry_mu = Mutex.create ()
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
+let locked f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
+
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some ({ kind = Counter _; _ } as m) -> m
-  | Some _ ->
-      invalid_arg (Printf.sprintf "Metrics.counter: %s is a histogram" name)
-  | None ->
-      let m = { name; kind = Counter { n = 0 } } in
-      Hashtbl.add registry name m;
-      m
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some ({ kind = Counter _; _ } as m) -> m
+      | Some _ ->
+          invalid_arg (Printf.sprintf "Metrics.counter: %s is a histogram" name)
+      | None ->
+          let m = { name; kind = Counter { n = Atomic.make 0 } } in
+          Hashtbl.add registry name m;
+          m)
 
 let histogram name ~buckets =
   if Array.length buckets = 0 then
@@ -34,35 +44,38 @@ let histogram name ~buckets =
       if i > 0 && buckets.(i - 1) >= b then
         invalid_arg "Metrics.histogram: buckets must be strictly ascending")
     buckets;
-  match Hashtbl.find_opt registry name with
-  | Some ({ kind = Histogram h; _ } as m) ->
-      if h.bounds <> buckets then
-        invalid_arg
-          (Printf.sprintf "Metrics.histogram: %s registered with other buckets"
-             name);
-      m
-  | Some _ ->
-      invalid_arg (Printf.sprintf "Metrics.histogram: %s is a counter" name)
-  | None ->
-      let m =
-        {
-          name;
-          kind =
-            Histogram
-              {
-                bounds = Array.copy buckets;
-                counts = Array.make (Array.length buckets + 1) 0;
-                count = 0;
-                sum = 0;
-              };
-        }
-      in
-      Hashtbl.add registry name m;
-      m
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some ({ kind = Histogram h; _ } as m) ->
+          if h.bounds <> buckets then
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics.histogram: %s registered with other buckets" name);
+          m
+      | Some _ ->
+          invalid_arg (Printf.sprintf "Metrics.histogram: %s is a counter" name)
+      | None ->
+          let m =
+            {
+              name;
+              kind =
+                Histogram
+                  {
+                    bounds = Array.copy buckets;
+                    counts =
+                      Array.init (Array.length buckets + 1) (fun _ ->
+                          Atomic.make 0);
+                    count = Atomic.make 0;
+                    sum = Atomic.make 0;
+                  };
+            }
+          in
+          Hashtbl.add registry name m;
+          m)
 
 let incr ?(by = 1) m =
   match m.kind with
-  | Counter c -> c.n <- c.n + by
+  | Counter c -> ignore (Atomic.fetch_and_add c.n by)
   | Histogram _ -> invalid_arg ("Metrics.incr: " ^ m.name ^ " is a histogram")
 
 let observe m v =
@@ -71,9 +84,9 @@ let observe m v =
       let n = Array.length h.bounds in
       let rec idx i = if i >= n || v <= h.bounds.(i) then i else idx (i + 1) in
       let i = idx 0 in
-      h.counts.(i) <- h.counts.(i) + 1;
-      h.count <- h.count + 1;
-      h.sum <- h.sum + v
+      ignore (Atomic.fetch_and_add h.counts.(i) 1);
+      ignore (Atomic.fetch_and_add h.count 1);
+      ignore (Atomic.fetch_and_add h.sum v)
   | Counter _ -> invalid_arg ("Metrics.observe: " ^ m.name ^ " is a counter")
 
 (* ------------------------------------------------------------------ *)
@@ -85,18 +98,19 @@ type sample =
 
 let sample_of m =
   match m.kind with
-  | Counter c -> Count c.n
+  | Counter c -> Count (Atomic.get c.n)
   | Histogram h ->
       Hist
         {
           bounds = h.bounds;
-          counts = Array.copy h.counts;
-          count = h.count;
-          sum = h.sum;
+          counts = Array.map Atomic.get h.counts;
+          count = Atomic.get h.count;
+          sum = Atomic.get h.sum;
         }
 
 let snapshot () =
-  Hashtbl.fold (fun name m acc -> (name, sample_of m) :: acc) registry []
+  locked (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, sample_of m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let diff after before =
@@ -117,12 +131,13 @@ let diff after before =
     after
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m.kind with
-      | Counter c -> c.n <- 0
-      | Histogram h ->
-          Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.count <- 0;
-          h.sum <- 0)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m.kind with
+          | Counter c -> Atomic.set c.n 0
+          | Histogram h ->
+              Array.iter (fun c -> Atomic.set c 0) h.counts;
+              Atomic.set h.count 0;
+              Atomic.set h.sum 0)
+        registry)

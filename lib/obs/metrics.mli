@@ -1,6 +1,7 @@
 (** A process-global metrics registry: monotonic counters and fixed-bucket
     histograms, cheap enough to leave permanently enabled (an increment is
-    an array store; no clock, no allocation).
+    an atomic fetch-and-add; no clock, no allocation). All cells are
+    atomics, so increments from concurrent domains are never lost.
 
     Metrics are registered once at module initialization ([counter] /
     [histogram] return the existing metric when the name is taken) and

@@ -1,12 +1,14 @@
-(* Hierarchical tracing over a bounded ring buffer.
+(* Hierarchical tracing over per-domain bounded ring buffers.
 
    Hot-path discipline: when tracing is disabled, [span]/[instant] are a
-   single flag read and must not allocate — the counting engine's
-   alloc-guard test enforces this. The ring is a plain array indexed by a
-   monotonically increasing write counter; on OCaml 5 this is
-   "lock-free-enough" for the single-domain solver (no mutex, no ordering
-   requirements beyond program order), and torn reads can at worst
-   garble an event that the export-time pairing repair then drops. *)
+   single atomic flag read and must not allocate — the counting engine's
+   alloc-guard test enforces this. Every domain owns a private ring
+   (domain-local storage) and writes to it without any synchronization:
+   the recording path is exactly the single-domain array store it always
+   was. Rings register themselves in a global list on first use and are
+   retained after their domain dies, so worker events survive until
+   export; the exporters walk all rings, repair pairing per ring, and
+   tag each ring's events with a distinct Chrome [tid]. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -19,68 +21,121 @@ let dummy_event = { ph = 'i'; name = ""; ts_us = 0.; attrs = [] }
 (* ------------------------------------------------------------------ *)
 (* State                                                               *)
 
-let on = ref false
+let on = Atomic.make false
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let default_capacity =
   match Sys.getenv_opt "OMEGA_TRACE_CAP" with
   | Some s -> ( match int_of_string_opt s with Some n when n >= 16 -> n | _ -> 65536)
   | None -> 65536
 
-let cap = ref default_capacity
+let cap = Atomic.make default_capacity
 
-(* Allocated lazily at the first recorded event, so linking the library
-   costs no memory until tracing is switched on. *)
-let buf : event array ref = ref [||]
+(* One ring per domain. [buf] is allocated lazily at the first recorded
+   event (with the capacity current at that moment), so linking the
+   library costs no memory until tracing is switched on. [clear] cannot
+   safely empty another domain's ring, so it bumps [generation]; a ring
+   lazily resets itself on its owner's next access when its recorded
+   generation is stale. *)
+type ring = {
+  tid : int;  (* Chrome thread id: 1 for the first domain, then 2, … *)
+  mutable buf : event array;
+  mutable total : int;  (* events written since the last reset *)
+  mutable open_attrs : attr list list;
+      (* pending [add_attr] attributes per open span, innermost first *)
+  mutable gen : int;
+}
 
-(* Events written since [clear]; the ring slot is [total mod cap]. *)
-let total = ref 0
+let generation = Atomic.make 0
+let next_tid = Atomic.make 1
+let rings_mu = Mutex.create ()
+let rings : ring list ref = ref []
 
-(* Pending [add_attr] attributes for each open span, innermost first.
-   Only maintained while recording. *)
-let open_attrs : attr list list ref = ref []
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          tid = Atomic.fetch_and_add next_tid 1;
+          buf = [||];
+          total = 0;
+          open_attrs = [];
+          gen = Atomic.get generation;
+        }
+      in
+      locked rings_mu (fun () -> rings := r :: !rings);
+      r)
+
+let my_ring () =
+  let r = Domain.DLS.get ring_key in
+  let g = Atomic.get generation in
+  if r.gen <> g then begin
+    r.buf <- [||];
+    r.total <- 0;
+    r.open_attrs <- [];
+    r.gen <- g
+  end;
+  r
+
+(* Rings ordered oldest-registered first (ascending tid), stale rings
+   conceptually empty. Reading another domain's ring is only sensible
+   while that domain is quiescent (export time); the worst a torn read
+   could produce is a garbled event that pairing repair drops. *)
+let live_rings () =
+  let g = Atomic.get generation in
+  locked rings_mu (fun () -> !rings)
+  |> List.filter (fun r -> r.gen = g && r.total > 0)
+  |> List.sort (fun a b -> Int.compare a.tid b.tid)
 
 let clear () =
-  buf := [||];
-  total := 0;
-  open_attrs := []
+  Atomic.incr generation;
+  ignore (my_ring ())
 
 let set_capacity n =
   if n < 16 then invalid_arg "Trace.set_capacity: capacity must be >= 16";
-  cap := n;
+  Atomic.set cap n;
   clear ()
 
-let capacity () = !cap
+let capacity () = Atomic.get cap
 
-let set_enabled b = on := b
+let set_enabled b = Atomic.set on b
 
-let dropped () = if !total > !cap then !total - !cap else 0
+let ring_dropped r =
+  let c = Array.length r.buf in
+  if c > 0 && r.total > c then r.total - c else 0
+
+let dropped () = List.fold_left (fun acc r -> acc + ring_dropped r) 0 (live_rings ())
 
 let t0 = Unix.gettimeofday ()
 
 let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
 
-let record ev =
-  if Array.length !buf = 0 then buf := Array.make !cap dummy_event;
-  !buf.(!total mod !cap) <- ev;
-  incr total
+let record r ev =
+  if Array.length r.buf = 0 then r.buf <- Array.make (Atomic.get cap) dummy_event;
+  r.buf.(r.total mod Array.length r.buf) <- ev;
+  r.total <- r.total + 1
 
-let events () =
-  let n = !total and c = !cap in
-  if n = 0 then []
-  else if n <= c then Array.to_list (Array.sub !buf 0 n)
+let ring_events r =
+  let n = r.total and c = Array.length r.buf in
+  if n = 0 || c = 0 then []
+  else if n <= c then Array.to_list (Array.sub r.buf 0 n)
   else begin
     let start = n mod c in
-    List.init c (fun i -> !buf.((start + i) mod c))
+    List.init c (fun i -> r.buf.((start + i) mod c))
   end
+
+let events () = List.concat_map ring_events (live_rings ())
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
 
 let instant ?attrs name =
-  if !on then
-    record
+  if Atomic.get on then
+    record (my_ring ())
       {
         ph = 'i';
         name;
@@ -89,15 +144,18 @@ let instant ?attrs name =
       }
 
 let add_attr k v =
-  if !on then
-    match !open_attrs with
-    | a :: rest -> open_attrs := ((k, v) :: a) :: rest
+  if Atomic.get on then begin
+    let r = my_ring () in
+    match r.open_attrs with
+    | a :: rest -> r.open_attrs <- ((k, v) :: a) :: rest
     | [] -> ()
+  end
 
 let span ?attrs name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
-    record
+    let r = my_ring () in
+    record r
       {
         ph = 'B';
         name;
@@ -105,17 +163,17 @@ let span ?attrs name f =
         attrs = (match attrs with None -> [] | Some g -> g ());
       }
     ;
-    open_attrs := [] :: !open_attrs;
+    r.open_attrs <- [] :: r.open_attrs;
     Fun.protect
       ~finally:(fun () ->
         let extra =
-          match !open_attrs with
+          match r.open_attrs with
           | a :: rest ->
-              open_attrs := rest;
+              r.open_attrs <- rest;
               List.rev a
           | [] -> []
         in
-        record { ph = 'E'; name; ts_us = now_us (); attrs = extra })
+        record r { ph = 'E'; name; ts_us = now_us (); attrs = extra })
       f
   end
 
@@ -129,14 +187,37 @@ type phase_rec = {
   mutable t_start : float;
 }
 
-let phases : (string, phase_rec) Hashtbl.t = Hashtbl.create 8
+(* Per-domain phase tables, same pattern as the rings: lock-free
+   accumulation into a DLS table, a registered list for summation, and
+   generation-based reset. *)
+type phase_tbl = { ptbl : (string, phase_rec) Hashtbl.t; mutable pgen : int }
+
+let phase_generation = Atomic.make 0
+let ptbls_mu = Mutex.create ()
+let ptbls : phase_tbl list ref = ref []
+
+let phase_key =
+  Domain.DLS.new_key (fun () ->
+      let t = { ptbl = Hashtbl.create 8; pgen = Atomic.get phase_generation } in
+      locked ptbls_mu (fun () -> ptbls := t :: !ptbls);
+      t)
+
+let my_phases () =
+  let t = Domain.DLS.get phase_key in
+  let g = Atomic.get phase_generation in
+  if t.pgen <> g then begin
+    Hashtbl.reset t.ptbl;
+    t.pgen <- g
+  end;
+  t
 
 let phase_find name =
-  match Hashtbl.find_opt phases name with
+  let t = my_phases () in
+  match Hashtbl.find_opt t.ptbl name with
   | Some p -> p
   | None ->
       let p = { seconds = 0.; entries = 0; depth = 0; t_start = 0. } in
-      Hashtbl.add phases name p;
+      Hashtbl.add t.ptbl name p;
       p
 
 let phase name f =
@@ -149,25 +230,42 @@ let phase name f =
     if p.depth = 0 then
       p.seconds <- p.seconds +. (Unix.gettimeofday () -. p.t_start)
   in
-  if not !on then Fun.protect ~finally:finish f
+  if not (Atomic.get on) then Fun.protect ~finally:finish f
   else span name (fun () -> Fun.protect ~finally:finish f)
 
 let phase_totals () =
-  Hashtbl.fold (fun name p acc -> (name, (p.seconds, p.entries)) :: acc) phases []
+  let g = Atomic.get phase_generation in
+  let tbls = locked ptbls_mu (fun () -> !ptbls) in
+  let acc : (string, float * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      if t.pgen = g then
+        Hashtbl.iter
+          (fun name p ->
+            let s0, e0 =
+              match Hashtbl.find_opt acc name with
+              | Some x -> x
+              | None -> (0., 0)
+            in
+            Hashtbl.replace acc name (s0 +. p.seconds, e0 + p.entries))
+          t.ptbl)
+    tbls;
+  Hashtbl.fold (fun name x l -> (name, x) :: l) acc []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let reset_phases () = Hashtbl.reset phases
+let reset_phases () =
+  Atomic.incr phase_generation;
+  ignore (my_phases ())
 
 (* ------------------------------------------------------------------ *)
 (* Pairing repair                                                      *)
 
-(* The ring keeps a contiguous suffix of a properly nested B/E stream, so
-   the only defects are E events whose B was overwritten (they pop an
+(* Each ring keeps a contiguous suffix of a properly nested B/E stream,
+   so the only defects are E events whose B was overwritten (they pop an
    empty stack: drop them) and B events still open when the buffer is
-   dumped (close them at the last timestamp). Within the suffix an E with
-   a nonempty stack always matches the innermost open B. *)
-let paired_events () =
-  let evs = events () in
+   dumped (close them at the ring's last timestamp). Within the suffix
+   an E with a nonempty stack always matches the innermost open B. *)
+let repair_ring evs =
   let last_ts = List.fold_left (fun acc e -> Float.max acc e.ts_us) 0. evs in
   let rec go stack acc = function
     | [] ->
@@ -188,6 +286,11 @@ let paired_events () =
         | _ -> go stack (e :: acc) rest)
   in
   go [] [] evs
+
+(* Concatenating per-ring balanced streams keeps the whole stream
+   balanced: a stack walk over the result empties between rings. *)
+let paired_events () =
+  List.concat_map (fun r -> repair_ring (ring_events r)) (live_rings ())
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event export                                           *)
@@ -214,10 +317,10 @@ let value_json = function
   | Str s -> "\"" ^ json_escape s ^ "\""
   | Bool b -> string_of_bool b
 
-let add_event b (e : event) =
+let add_event b ~tid (e : event) =
   Buffer.add_string b
-    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":1"
-       (json_escape e.name) e.ph e.ts_us);
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+       (json_escape e.name) e.ph e.ts_us tid);
   if e.ph = 'i' then Buffer.add_string b ",\"s\":\"t\"";
   (match e.attrs with
   | [] -> ()
@@ -238,10 +341,18 @@ let to_chrome_json () =
   Buffer.add_string b
     "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"omegacount\"}}";
   List.iter
-    (fun e ->
+    (fun r ->
       Buffer.add_char b ',';
-      add_event b e)
-    (paired_events ());
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+           r.tid r.tid);
+      List.iter
+        (fun e ->
+          Buffer.add_char b ',';
+          add_event b ~tid:r.tid e)
+        (repair_ring (ring_events r)))
+    (live_rings ());
   Buffer.add_string b
     (Printf.sprintf
        "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":%d}}"

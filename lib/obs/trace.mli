@@ -14,10 +14,17 @@
     are closed at the last timestamp), so exported traces are always
     well-nested.
 
+    Every domain records into a private ring buffer (domain-local
+    storage), so recording never synchronizes; rings are retained after
+    their domain dies, and the exporters merge them — pairing is
+    repaired per ring, and each ring becomes a distinct Chrome thread
+    ([tid]) in the merged trace.
+
     The module also hosts the always-on {e phase} aggregation that
     [Counting.Instr.time_phase] is built on: a phase is a span that
-    additionally accumulates (seconds, entries) into a global table,
-    whether or not tracing is enabled. *)
+    additionally accumulates (seconds, entries) into a per-domain table,
+    whether or not tracing is enabled; {!phase_totals} sums across
+    domains. *)
 
 (** {1 Attributes} *)
 
@@ -40,10 +47,11 @@ val set_capacity : int -> unit
 
 val capacity : unit -> int
 
-(** Drop all recorded events. *)
+(** Drop all recorded events (in every domain's ring: remote rings reset
+    themselves lazily on their owner's next access). *)
 val clear : unit -> unit
 
-(** Events overwritten by the ring since the last {!clear}. *)
+(** Events overwritten by the rings since the last {!clear}. *)
 val dropped : unit -> int
 
 (** {1 Recording} *)
@@ -86,11 +94,13 @@ type event = {
   attrs : attr list;
 }
 
-(** Recorded events, oldest first, as stored (pairing not repaired). *)
+(** Recorded events, ring by ring (oldest-registered domain first), each
+    ring oldest first, as stored (pairing not repaired). *)
 val events : unit -> event list
 
-(** Events with pairing repaired: orphaned ['E']s dropped, unclosed
-    ['B']s closed at the final timestamp. Always properly nested. *)
+(** Events with pairing repaired per ring: orphaned ['E']s dropped,
+    unclosed ['B']s closed at the ring's final timestamp, rings
+    concatenated. Always properly nested. *)
 val paired_events : unit -> event list
 
 (** The whole buffer as one Chrome trace-event JSON object:

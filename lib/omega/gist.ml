@@ -107,7 +107,8 @@ let gist_uncached p given =
   clause_of_constraints V.Set.empty ks
 
 let gist_memo p given =
-  Memo.counters.gist_queries <- Memo.counters.gist_queries + 1;
+  let mc = Memo.local () in
+  mc.gist_queries <- mc.gist_queries + 1;
   if not (Memo.enabled ()) then gist_uncached p given
   else begin
     (* [p] is keyed exactly (the result is built from its constraints);
@@ -115,7 +116,7 @@ let gist_memo p given =
     let key = (Memo.Ckey.of_clause p, Memo.wilds_canonical_key given) in
     match GistTbl.find_opt gist_cache key with
     | Some r ->
-        Memo.counters.gist_hits <- Memo.counters.gist_hits + 1;
+        mc.gist_hits <- mc.gist_hits + 1;
         if Obs.Trace.enabled () then
           Obs.Trace.add_attr "memo" (Obs.Trace.Str "hit");
         r

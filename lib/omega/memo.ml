@@ -27,19 +27,43 @@ let zero_counters () =
     evictions = 0;
   }
 
-let counters = zero_counters ()
+(* Per-domain counter records, registered on first touch in a global
+   list. The hot path mutates a plain record the owning domain got from
+   DLS — no atomics, no sharing — and [snapshot] sums every registered
+   record. Records of dead domains stay registered so their counts are
+   never lost. [snapshot]/[reset_counters] are meant to be called while
+   worker domains are quiescent (between queries, as [Instr.collect]
+   does); concurrent mutation only risks slightly stale sums. *)
+let registry_mu = Mutex.create ()
+let registry : counters list ref = ref []
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let counters_key =
+  Domain.DLS.new_key (fun () ->
+      let c = zero_counters () in
+      locked registry_mu (fun () -> registry := c :: !registry);
+      c)
+
+let local () = Domain.DLS.get counters_key
+
+let add_counters acc c =
+  {
+    feas_queries = acc.feas_queries + c.feas_queries;
+    feas_hits = acc.feas_hits + c.feas_hits;
+    elim_queries = acc.elim_queries + c.elim_queries;
+    elim_hits = acc.elim_hits + c.elim_hits;
+    gist_queries = acc.gist_queries + c.gist_queries;
+    gist_hits = acc.gist_hits + c.gist_hits;
+    eliminations = acc.eliminations + c.eliminations;
+    evictions = acc.evictions + c.evictions;
+  }
 
 let snapshot () =
-  {
-    feas_queries = counters.feas_queries;
-    feas_hits = counters.feas_hits;
-    elim_queries = counters.elim_queries;
-    elim_hits = counters.elim_hits;
-    gist_queries = counters.gist_queries;
-    gist_hits = counters.gist_hits;
-    eliminations = counters.eliminations;
-    evictions = counters.evictions;
-  }
+  locked registry_mu (fun () ->
+      List.fold_left add_counters (zero_counters ()) !registry)
 
 let diff a b =
   {
@@ -54,14 +78,18 @@ let diff a b =
   }
 
 let reset_counters () =
-  counters.feas_queries <- 0;
-  counters.feas_hits <- 0;
-  counters.elim_queries <- 0;
-  counters.elim_hits <- 0;
-  counters.gist_queries <- 0;
-  counters.gist_hits <- 0;
-  counters.eliminations <- 0;
-  counters.evictions <- 0
+  locked registry_mu (fun () ->
+      List.iter
+        (fun c ->
+          c.feas_queries <- 0;
+          c.feas_hits <- 0;
+          c.elim_queries <- 0;
+          c.elim_hits <- 0;
+          c.gist_queries <- 0;
+          c.gist_hits <- 0;
+          c.eliminations <- 0;
+          c.evictions <- 0)
+        !registry)
 
 let counters_to_fields c =
   [
@@ -79,14 +107,21 @@ let counters_to_fields c =
 (* Enable flag and clear registry                                      *)
 
 (* Default on; OMEGA_MEMO=0 disables from the environment (bench and CI
-   comparisons). *)
-let enabled_flag = ref (Sys.getenv_opt "OMEGA_MEMO" <> Some "0")
-let enabled () = !enabled_flag
+   comparisons). Atomic so any domain observes a flip immediately. *)
+let enabled_flag = Atomic.make (Sys.getenv_opt "OMEGA_MEMO" <> Some "0")
+let enabled () = Atomic.get enabled_flag
+let clearers_mu = Mutex.create ()
 let clearers : (unit -> unit) list ref = ref []
-let clear_all () = List.iter (fun f -> f ()) !clearers
+
+let register_clearer f =
+  locked clearers_mu (fun () -> clearers := f :: !clearers)
+
+let clear_all () =
+  let fs = locked clearers_mu (fun () -> !clearers) in
+  List.iter (fun f -> f ()) fs
 
 let set_enabled b =
-  enabled_flag := b;
+  Atomic.set enabled_flag b;
   if not b then clear_all ()
 
 (* ------------------------------------------------------------------ *)
@@ -109,71 +144,113 @@ module Lru (K : Hashtbl.HashedType) = struct
      single clause to splinter storms of hundreds (several hundred KB
      retained each — enough to double the program's live heap, which is
      pure GC drag when the entries never hit), so bounding by retained
-     size rather than count is what actually bounds memory. *)
-  type 'v t = {
-    cap : int;
+     size rather than count is what actually bounds memory.
+
+     Each domain owns a private {e shard} of the table (DLS-backed): the
+     hot path is exactly the single-domain doubly-linked LRU, with no
+     locks and no shared mutable state. Cached results are pure functions
+     of their keys, so a miss in one domain for an entry another holds
+     costs recomputation, never correctness. [clear] cannot reach into
+     another domain's shard safely, so it bumps an atomic {e generation};
+     every shard lazily resets itself on its owner's next access when its
+     recorded generation is stale. *)
+  type 'v shard = {
     tbl : 'v node H.t;
     mutable total : int;  (* sum of live weights *)
     mutable head : 'v node option;  (* most recently used *)
     mutable tail : 'v node option;  (* least recently used *)
+    mutable gen : int;  (* generation this shard last synced to *)
   }
 
-  let clear t =
-    H.reset t.tbl;
-    t.total <- 0;
-    t.head <- None;
-    t.tail <- None
+  type 'v t = {
+    cap : int;
+    shards : 'v shard Domain.DLS.key;
+    generation : int Atomic.t;
+  }
+
+  let reset_shard s =
+    H.reset s.tbl;
+    s.total <- 0;
+    s.head <- None;
+    s.tail <- None
 
   let create cap =
     if cap <= 0 then invalid_arg "Memo.Lru.create: capacity must be positive";
-    let t =
-      { cap; tbl = H.create (min cap 1024); total = 0; head = None; tail = None }
+    let generation = Atomic.make 0 in
+    let shards =
+      Domain.DLS.new_key (fun () ->
+          {
+            tbl = H.create (min cap 1024);
+            total = 0;
+            head = None;
+            tail = None;
+            gen = Atomic.get generation;
+          })
     in
-    clearers := (fun () -> clear t) :: !clearers;
+    let t = { cap; shards; generation } in
+    register_clearer (fun () -> Atomic.incr generation);
     t
 
-  let unlink t n =
-    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
-    (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  let shard t =
+    let s = Domain.DLS.get t.shards in
+    let g = Atomic.get t.generation in
+    if s.gen <> g then begin
+      reset_shard s;
+      s.gen <- g
+    end;
+    s
+
+  let clear t = Atomic.incr t.generation
+
+  let unlink s n =
+    (match n.prev with Some p -> p.next <- n.next | None -> s.head <- n.next);
+    (match n.next with Some x -> x.prev <- n.prev | None -> s.tail <- n.prev);
     n.prev <- None;
     n.next <- None
 
-  let push_front t n =
-    n.next <- t.head;
-    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-    t.head <- Some n
+  let push_front s n =
+    n.next <- s.head;
+    (match s.head with Some h -> h.prev <- Some n | None -> s.tail <- Some n);
+    s.head <- Some n
 
   let find_opt t k =
-    match H.find_opt t.tbl k with
+    let s = shard t in
+    match H.find_opt s.tbl k with
     | None -> None
     | Some n ->
-        if t.head != Some n then begin
-          unlink t n;
-          push_front t n
+        if s.head != Some n then begin
+          unlink s n;
+          push_front s n
         end;
         Some n.value
 
   let add ?(weight = 1) t k v =
+    let s = shard t in
     let weight = if weight < 1 then 1 else weight in
     (* An entry that could never fit would evict the whole table for
        nothing: skip it. *)
-    if weight <= t.cap && not (H.mem t.tbl k) then begin
-      while t.total + weight > t.cap do
-        match t.tail with
+    if weight <= t.cap && not (H.mem s.tbl k) then begin
+      let evictions = ref 0 in
+      while s.total + weight > t.cap do
+        match s.tail with
         | Some last ->
-            unlink t last;
-            H.remove t.tbl last.key;
-            t.total <- t.total - last.weight;
-            counters.evictions <- counters.evictions + 1
-        | None -> t.total <- 0
+            unlink s last;
+            H.remove s.tbl last.key;
+            s.total <- s.total - last.weight;
+            incr evictions
+        | None -> s.total <- 0
       done;
+      if !evictions > 0 then begin
+        let c = local () in
+        c.evictions <- c.evictions + !evictions
+      end;
       let n = { key = k; value = v; weight; prev = None; next = None } in
-      H.replace t.tbl k n;
-      push_front t n;
-      t.total <- t.total + weight
+      H.replace s.tbl k n;
+      push_front s n;
+      s.total <- s.total + weight
     end
 
-  let length t = H.length t.tbl
+  let length t = H.length (shard t).tbl
 end
 
 (* ------------------------------------------------------------------ *)

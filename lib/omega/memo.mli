@@ -27,13 +27,17 @@ type counters = {
   mutable evictions : int;  (** LRU entries dropped at capacity *)
 }
 
-(** The live global counters, updated by the solver. *)
-val counters : counters
+(** The calling domain's live counter record, updated in place by the
+    solver. One record per domain (domain-local storage), registered
+    globally on first touch, so the hot path needs no atomics. *)
+val local : unit -> counters
 
 (** Fresh all-zero record. *)
 val zero_counters : unit -> counters
 
-(** Copy of the current global counters. *)
+(** Field-wise sum of every domain's counters (including domains that
+    have since terminated). Call while worker domains are quiescent;
+    concurrent mutation only makes the sums slightly stale. *)
 val snapshot : unit -> counters
 
 (** [diff after before] subtracts field-wise. *)
@@ -62,7 +66,13 @@ val clear_all : unit -> unit
     themselves with {!clear_all} on creation. Capacity is a {e weight}
     budget: [add ~weight] (default 1) lets callers bound the retained
     {e size} of cached values — essential for elimination results, whose
-    splinter lists can each retain hundreds of KB. *)
+    splinter lists can each retain hundreds of KB.
+
+    Every domain owns a private shard (domain-local storage), so lookups
+    and inserts take no locks; entries are pure functions of their keys,
+    so per-domain caches affect hit rates only, never results. [clear]
+    bumps a shared generation that each shard lazily syncs to on its
+    owner's next access. *)
 module Lru (K : Hashtbl.HashedType) : sig
   type 'v t
 

@@ -43,7 +43,8 @@ let bounds v geqs =
    it is exact, always applicable, and terminates in conjunction with
    stride normalization, which reduces coefficients modulo the modulus. *)
 let eliminate_via_eq v c =
-  Memo.counters.eliminations <- Memo.counters.eliminations + 1;
+  let mc = Memo.local () in
+  mc.eliminations <- mc.eliminations + 1;
   let open Clause in
   (* pick the equality with the smallest |coefficient| on v *)
   let best =
@@ -103,7 +104,8 @@ let check_no_eq_occurrence v (c : Clause.t) =
       "Solve.eliminate: variable still occurs in equalities or strides"
 
 let eliminate_core mode v (c : Clause.t) : Clause.t list =
-  Memo.counters.eliminations <- Memo.counters.eliminations + 1;
+  let mc = Memo.local () in
+  mc.eliminations <- mc.eliminations + 1;
   let lowers, uppers, rest = bounds v c.geqs in
   let base = { c with geqs = rest; wilds = V.Set.remove v c.wilds } in
   if lowers = [] || uppers = [] then [ base ]
@@ -241,13 +243,14 @@ let mode_tag = function
   | Approx_real -> 3
 
 let eliminate_memo mode v (c : Clause.t) : Clause.t list =
-  Memo.counters.elim_queries <- Memo.counters.elim_queries + 1;
+  let mc = Memo.local () in
+  mc.elim_queries <- mc.elim_queries + 1;
   if not (Memo.enabled ()) then eliminate_uncached mode v c
   else begin
     let key = Memo.Ckey.of_clause ~salt:(mode_tag mode) ~vars:[ v ] c in
     match ElimTbl.find_opt elim_cache key with
     | Some r ->
-        Memo.counters.elim_hits <- Memo.counters.elim_hits + 1;
+        mc.elim_hits <- mc.elim_hits + 1;
         if Obs.Trace.enabled () then
           Obs.Trace.add_attr "memo" (Obs.Trace.Str "hit");
         r
@@ -394,13 +397,14 @@ let feas_cache : bool FeasTbl.t = FeasTbl.create 32768
 let rec feasible steps (c : Clause.t) =
   if steps > max_reduction_steps then
     failwith "Omega.Solve.is_feasible: did not terminate";
-  Memo.counters.feas_queries <- Memo.counters.feas_queries + 1;
+  let mc = Memo.local () in
+  mc.feas_queries <- mc.feas_queries + 1;
   if not (Memo.enabled ()) then feasible_body steps c
   else begin
     let key = Memo.feas_key c in
     match FeasTbl.find_opt feas_cache key with
     | Some v ->
-        Memo.counters.feas_hits <- Memo.counters.feas_hits + 1;
+        mc.feas_hits <- mc.feas_hits + 1;
         v
     | None ->
         let v = feasible_body steps c in

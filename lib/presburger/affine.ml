@@ -37,8 +37,14 @@ module W = Weak.Make (struct
   let hash = hash
 end)
 
-let table = W.create 4093
-let intern a = W.merge table a
+(* One weak intern table per domain (DLS): interning is a cache, not a
+   source of truth — two domains may hold distinct physical copies of the
+   same term, and [equal] still compares structurally after the physical
+   shortcut, so cross-domain sharing is never required for correctness.
+   The lazily cached [hcode] write is a benign race: every writer stores
+   the same structural hash, and int stores are atomic in OCaml. *)
+let table_key = Domain.DLS.new_key (fun () -> W.create 4093)
+let intern a = W.merge (Domain.DLS.get table_key) a
 let mk coeffs const = { coeffs; const; hcode = -1 }
 let zero = mk Var.Map.empty Zint.zero
 let const c = mk Var.Map.empty c

@@ -1,13 +1,14 @@
 type t = Named of string | Wild of int
 
 let named s = Named s
-let counter = ref 0
 
-let fresh_wild () =
-  incr counter;
-  Wild !counter
-
-let reset_fresh () = counter := 0
+(* Atomic so that concurrent domains never mint the same wild id. Ids are
+   globally monotonic, which keeps the *relative* order of wilds created
+   within one task identical to a serial run — and [compare] below only
+   ever observes relative order. *)
+let counter = Atomic.make 0
+let fresh_wild () = Wild (1 + Atomic.fetch_and_add counter 1)
+let reset_fresh () = Atomic.set counter 0
 
 let is_wild = function Wild _ -> true | Named _ -> false
 

@@ -11,7 +11,8 @@ type t = Named of string | Wild of int
 
 val named : string -> t
 
-(** [fresh_wild ()] allocates a globally unique wildcard. *)
+(** [fresh_wild ()] allocates a globally unique wildcard. The counter is
+    atomic, so wildcards minted by concurrent domains never collide. *)
 val fresh_wild : unit -> t
 
 (** [reset_fresh ()] rewinds the wildcard counter to 0. {b Test-only}: it

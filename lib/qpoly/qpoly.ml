@@ -381,7 +381,11 @@ let binomial n k =
   done;
   !acc
 
-let bernoulli_tbl : (int, Qnum.t) Hashtbl.t = Hashtbl.create 32
+(* Per-domain memo table (DLS): Bernoulli numbers are pure values, so
+   private caches cost at most a recomputation per domain and keep the
+   Hashtbl free of cross-domain races. *)
+let bernoulli_tbl_key : (int, Qnum.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
 
 let rec bernoulli n =
   if n < 0 then invalid_arg "Qpoly.bernoulli: negative index";
@@ -389,6 +393,7 @@ let rec bernoulli n =
   else if n = 1 then Qnum.of_ints 1 2
   else if n land 1 = 1 then Qnum.zero
   else
+    let bernoulli_tbl = Domain.DLS.get bernoulli_tbl_key in
     match Hashtbl.find_opt bernoulli_tbl n with
     | Some b -> b
     | None ->

@@ -18,5 +18,6 @@ let () =
       Test_differential.suite;
       Test_props.suite;
       Test_trace.suite;
+      Test_parallel.suite;
       Test_alloc.suite;
     ]

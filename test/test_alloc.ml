@@ -34,6 +34,13 @@ let example6_formula =
 let ceiling = 140_000.
 
 let test_example6_minor_words () =
+  (* Pin jobs = 1: with a pool enabled the fan-out path allocates task
+     futures on this domain while the work (and its allocation) lands on
+     other domains, making the reading meaningless either way. *)
+  let saved_jobs = Counting.Pool.jobs () in
+  Counting.Pool.set_jobs 1;
+  Fun.protect ~finally:(fun () -> Counting.Pool.set_jobs saved_jobs)
+  @@ fun () ->
   (* Warm-up absorbs one-time costs (lazy initializers, weak-table
      growth); clearing the memo tables afterwards makes the measured run
      a cold-cache query like the benchmark's. *)
