@@ -660,6 +660,93 @@ let par_report emit =
            label par_jobs serial_s parallel_s (serial_s /. parallel_s)))
     par_experiments
 
+(* Governor overhead on the two heaviest paper experiments. The budget
+   checkpoints are always compiled in, so the baseline (plain
+   [Engine.count], no control block — every check is one atomic load)
+   is compared against a governed run with no limits (control block
+   installed, fuel unlimited, no deadline so no clock reads) and a
+   governed run with generous finite limits (fuel countdown plus a
+   deadline poll at every charge) that never trips. All three compute
+   identical values. *)
+let governor_overhead_experiments =
+  [
+    ( "E4",
+      fun opts ->
+        match
+          Counting.Governor.count ?budget:opts ~vars:[ "x" ] example4_formula
+        with
+        | Counting.Governor.Complete _ -> ()
+        | Counting.Governor.Partial _ ->
+            failwith "governor_overhead: unexpected partial" );
+    ( "E6",
+      fun opts ->
+        match
+          Counting.Governor.count ?budget:opts ~vars:[ "i"; "j" ]
+            example6_formula
+        with
+        | Counting.Governor.Complete v ->
+            ignore (Counting.Merge.merge_residues v)
+        | Counting.Governor.Partial _ ->
+            failwith "governor_overhead: unexpected partial" );
+  ]
+
+let generous_budget =
+  {
+    Counting.Governor.deadline_ms = Some 600_000;
+    fuel = Some 50_000_000;
+    max_fanout = Some 1_000_000;
+    max_clauses = Some 1_000_000;
+  }
+
+let baseline_experiments =
+  [
+    ("E4", fun () -> ignore (E.count ~vars:[ "x" ] example4_formula));
+    ( "E6",
+      fun () ->
+        ignore
+          (Counting.Merge.merge_residues
+             (E.count ~vars:[ "i"; "j" ] example6_formula)) );
+  ]
+
+(* The three sides of one comparison, interleaved rep by rep so that
+   slow drift over the measurement window (heap growth, CPU frequency)
+   hits all sides equally instead of penalizing whichever is timed
+   last. *)
+let time_interleaved ~reps fs =
+  let best = Array.make (List.length fs) infinity in
+  for _ = 1 to reps do
+    List.iteri
+      (fun i f ->
+        Omega.Memo.clear_all ();
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < best.(i) then best.(i) <- dt)
+      fs
+  done;
+  Array.to_list best
+
+let governor_report emit =
+  Printf.printf "Governor overhead (cold caches, interleaved best of 9):\n";
+  List.iter
+    (fun (label, gov) ->
+      let base = List.assoc label baseline_experiments in
+      let baseline_s, unlimited_s, budget_s =
+        match
+          time_interleaved ~reps:9
+            [ base; (fun () -> gov None); (fun () -> gov (Some generous_budget)) ]
+        with
+        | [ a; b; c ] -> (a, b, c)
+        | _ -> assert false
+      in
+      let pct x = (x /. baseline_s -. 1.) *. 100. in
+      emit
+        (Printf.sprintf
+           "{\"label\":\"governor_overhead_%s\",\"baseline_s\":%.6f,\"governed_unlimited_s\":%.6f,\"governed_budget_s\":%.6f,\"overhead_unlimited_pct\":%.2f,\"overhead_budget_pct\":%.2f}"
+           label baseline_s unlimited_s budget_s (pct unlimited_s)
+           (pct budget_s)))
+    governor_overhead_experiments
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                      *)
 
@@ -766,6 +853,7 @@ let () =
   Option.iter (fun _ -> Obs.Trace.set_enabled true) trace_file;
   instr_report emit;
   par_report emit;
+  governor_report emit;
   Option.iter
     (fun f ->
       Obs.Trace.set_enabled false;

@@ -14,46 +14,170 @@ let parse_binding s =
       (name, Zint.of_string value)
   | None -> raise (Arg.Bad (Printf.sprintf "bad binding %S (want name=int)" s))
 
-let run query bindings strategy merge stats =
-  let q = Preslang.parse_query query in
-  let opts = { Counting.Engine.default with strategy } in
-  let compute () =
-    let value =
-      Counting.Engine.sum ~opts ~vars:q.Preslang.vars q.Preslang.formula
-        q.Preslang.summand
-    in
-    if merge then Counting.Merge.merge_residues value else value
-  in
-  let value, report =
-    if stats then begin
-      let value, report =
-        Counting.Engine.with_instr ~label:"omcount"
-          ~meta:(Counting.Engine.opts_fields opts)
-          compute
-      in
-      (value, Some report)
-    end
-    else (compute (), None)
-  in
-  Printf.printf "%s\n" (Counting.Value.to_string value);
-  if bindings <> [] then begin
-    let env name =
-      match List.assoc_opt name bindings with
-      | Some z -> z
-      | None -> raise Not_found
-    in
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let env_of bindings name =
+  match List.assoc_opt name bindings with
+  | Some z -> z
+  | None -> raise Not_found
+
+(* Evaluate a value under the --at bindings when that yields a plain
+   integer; [None] when symbolic constants remain unbound or the result
+   is non-integral. *)
+let eval_num bindings v =
+  match Counting.Value.eval (env_of bindings) v with
+  | q -> Qnum.to_zint q
+  | exception Not_found -> None
+
+let print_report = function
+  | None -> ()
+  | Some r ->
+      Format.eprintf "%a@." Counting.Instr.pp r;
+      Printf.eprintf "%s\n" (Counting.Instr.to_json r)
+
+let print_eval_at bindings value =
+  if bindings <> [] then
     Printf.printf "at %s: %s\n"
       (String.concat ", "
          (List.map
             (fun (n, z) -> Printf.sprintf "%s=%s" n (Zint.to_string z))
             bindings))
-      (Qnum.to_string (Counting.Value.eval env value))
-  end;
-  match report with
-  | None -> ()
-  | Some r ->
-      Format.eprintf "%a@." Counting.Instr.pp r;
-      Printf.eprintf "%s\n" (Counting.Instr.to_json r)
+      (Qnum.to_string (Counting.Value.eval (env_of bindings) value))
+
+let json_complete bindings value =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"status\":\"complete\",\"value\":\"%s\""
+       (json_escape (Counting.Value.to_string value)));
+  (match eval_num bindings value with
+  | Some z -> Buffer.add_string b (Printf.sprintf ",\"eval\":%s" (Zint.to_string z))
+  | None -> ());
+  Buffer.add_string b "}";
+  print_endline (Buffer.contents b)
+
+let json_partial bindings (p : Counting.Governor.partial) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"status\":\"partial\",\"reason\":\"%s\",\"pieces_done\":%d,\"clauses_done\":%d,\"clauses_total\":%d"
+       (Counting.Governor.reason_name p.reason)
+       p.pieces_done p.clauses_done p.clauses_total);
+  Buffer.add_string b
+    (Printf.sprintf ",\"pieces\":\"%s\",\"lower\":\"%s\""
+       (json_escape (Counting.Value.to_string p.pieces))
+       (json_escape (Counting.Value.to_string p.lower)));
+  (match p.upper with
+  | Some u ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"upper\":\"%s\""
+           (json_escape (Counting.Value.to_string u)))
+  | None -> Buffer.add_string b ",\"upper\":null");
+  Buffer.add_string b ",\"bounds\":{";
+  let bounds = ref [] in
+  (match eval_num bindings p.lower with
+  | Some z -> bounds := Printf.sprintf "\"lower\":%s" (Zint.to_string z) :: !bounds
+  | None -> ());
+  (match p.upper with
+  | Some u -> (
+      match eval_num bindings u with
+      | Some z ->
+          bounds := Printf.sprintf "\"upper\":%s" (Zint.to_string z) :: !bounds
+      | None -> ())
+  | None -> ());
+  Buffer.add_string b (String.concat "," (List.rev !bounds));
+  Buffer.add_string b "}}";
+  print_endline (Buffer.contents b)
+
+let run query bindings strategy merge stats ~budget ~json =
+  let q = Preslang.parse_query query in
+  let opts = { Counting.Engine.default with strategy } in
+  let governed = json || not (Counting.Governor.is_unlimited budget) in
+  let merged v = if merge then Counting.Merge.merge_residues v else v in
+  if not governed then begin
+    (* The ungoverned path is exactly the pre-governor pipeline, so
+       default invocations stay byte-identical. *)
+    let compute () =
+      merged
+        (Counting.Engine.sum ~opts ~vars:q.Preslang.vars q.Preslang.formula
+           q.Preslang.summand)
+    in
+    let value, report =
+      if stats then begin
+        let value, report =
+          Counting.Engine.with_instr ~label:"omcount"
+            ~meta:(Counting.Engine.opts_fields opts)
+            compute
+        in
+        (value, Some report)
+      end
+      else (compute (), None)
+    in
+    Printf.printf "%s\n" (Counting.Value.to_string value);
+    print_eval_at bindings value;
+    print_report report
+  end
+  else begin
+    let compute () =
+      Counting.Governor.sum ~budget ~opts ~vars:q.Preslang.vars
+        q.Preslang.formula q.Preslang.summand
+    in
+    let outcome, report =
+      if stats then begin
+        let outcome, report =
+          Counting.Engine.with_instr ~label:"omcount"
+            ~meta:(Counting.Engine.opts_fields opts)
+            compute
+        in
+        (outcome, Some report)
+      end
+      else (compute (), None)
+    in
+    match outcome with
+    | Counting.Governor.Complete value ->
+        let value = merged value in
+        if json then json_complete bindings value
+        else begin
+          Printf.printf "%s\n" (Counting.Value.to_string value);
+          print_eval_at bindings value
+        end;
+        print_report report
+    | Counting.Governor.Partial p ->
+        let p =
+          {
+            p with
+            Counting.Governor.pieces = merged p.Counting.Governor.pieces;
+            lower = merged p.Counting.Governor.lower;
+            upper = Option.map merged p.Counting.Governor.upper;
+          }
+        in
+        if json then json_partial bindings p
+        else begin
+          Printf.printf "%s\n" (Counting.Value.to_string p.pieces);
+          Printf.eprintf
+            "omcount: partial result (budget exhausted: %s): %d of %d \
+             clauses done; lower bound %s; upper bound %s\n"
+            (Counting.Governor.reason_name p.reason)
+            p.clauses_done p.clauses_total
+            (Counting.Value.to_string p.lower)
+            (match p.upper with
+            | Some u -> Counting.Value.to_string u
+            | None -> "unknown")
+        end;
+        print_report report;
+        exit 3
+  end
 
 (* --simplify: print the disjoint DNF of a bare formula — the Omega
    test's Section 2.6 capability, exposed directly. *)
@@ -123,6 +247,11 @@ let () =
   let stats = ref false in
   let trace_file = ref None in
   let profile = ref false in
+  let json = ref false in
+  let deadline_ms = ref None in
+  let fuel = ref None in
+  let max_fanout = ref None in
+  let max_clauses = ref None in
   let query = ref None in
   let spec =
     [
@@ -163,6 +292,24 @@ let () =
       ( "--profile",
         Arg.Set profile,
         "  record a trace and print a self-time-sorted span tree to stderr" );
+      ( "--json",
+        Arg.Set json,
+        "  print the answer as one JSON object with a \"status\" field \
+         (\"complete\" or \"partial\")" );
+      ( "--deadline-ms",
+        Arg.Int (fun n -> deadline_ms := Some n),
+        "N  give up after N milliseconds of wall clock; a partial answer \
+         with sound bounds exits with code 3" );
+      ( "--fuel",
+        Arg.Int (fun n -> fuel := Some n),
+        "N  budget of N solver steps (eliminations, reductions, \
+         feasibility probes)" );
+      ( "--max-fanout",
+        Arg.Int (fun n -> max_fanout := Some n),
+        "N  refuse any single splinter with more than N branches" );
+      ( "--max-clauses",
+        Arg.Int (fun n -> max_clauses := Some n),
+        "N  refuse DNF expansions beyond N live clauses" );
     ]
   in
   let usage = "omcount [options] \"count { vars : formula }\" | \"sum { vars : formula } expr\"" in
@@ -187,15 +334,27 @@ let () =
       prerr_endline usage;
       exit 2
   | Some q -> (
+      let budget =
+        {
+          Counting.Governor.deadline_ms = !deadline_ms;
+          fuel = !fuel;
+          max_fanout = !max_fanout;
+          max_clauses = !max_clauses;
+        }
+      in
       try
         if !simplify then simplify_formula q !stats
-        else run q !bindings !strategy !merge !stats
+        else run q !bindings !strategy !merge !stats ~budget ~json:!json
       with
       | Preslang.Parse_error (pos, msg) ->
           report_parse_error q pos msg;
           exit 2
       | Counting.Engine.Unbounded msg ->
           Printf.eprintf "unbounded summation: %s\n" msg;
+          exit 1
+      | Omega.Error.Omega_error { phase; what; context } ->
+          Printf.eprintf "omcount: %s\n"
+            (Omega.Error.to_string ~phase ~what context);
           exit 1
       | Failure msg ->
           Printf.eprintf "omcount: %s\n" msg;

@@ -100,8 +100,9 @@ let small_int z ctx =
   match Zint.to_int z with
   | Some n when n <= 1_000_000 -> n
   | _ ->
-      failwith
-        (Printf.sprintf "Counting: coefficient too large to splinter in %s" ctx)
+      Omega.Error.fail ~phase:"engine.splinter"
+        ~context:[ ("where", ctx); ("coefficient", Zint.to_string z) ]
+        "coefficient too large to splinter"
 
 (* Find an equality containing a summation variable; pick the variable
    with the smallest |coefficient| for the gentlest rescaling. *)
@@ -188,7 +189,14 @@ let fork_branches stats fuel n case =
   else Merge.combine (List.init n (fun t -> case t stats))
 
 let rec go opts stats vars poly (clause : C.t) fuel : Value.t =
-  if fuel > max_steps then failwith "Counting: reduction did not terminate";
+  (* One budget unit per engine reduction step; with the per-elimination
+     charges in [Solve] this makes every loop of the counting recursion
+     fuel-accounted and deadline-polled. *)
+  Obs.Budget.charge 1;
+  if fuel > max_steps then
+    Omega.Error.fail ~phase:"engine.sum"
+      ~context:[ ("steps", string_of_int fuel) ]
+      "reduction did not terminate";
   if Qpoly.is_zero poly then []
   else
     match C.normalize clause with
@@ -277,6 +285,7 @@ and convex opts stats vars poly clause fuel : Value.t =
            and bound_t < bound_j (j < t), comparisons cross-multiplied. *)
         let arr = Array.of_list chosen_bounds in
         let n = Array.length arr in
+        Obs.Budget.check_fanout n;
         stats.bound_splits <- stats.bound_splits + n - 1;
         fork_branches stats fuel n (fun t st ->
             let guards = ref [] in
@@ -306,6 +315,7 @@ and convex opts stats vars poly clause fuel : Value.t =
            negating the affine forms' roles. *)
         let arr = Array.of_list lowers in
         let n = Array.length arr in
+        Obs.Budget.check_fanout n;
         stats.bound_splits <- stats.bound_splits + n - 1;
         fork_branches stats fuel n (fun t st ->
             let guards = ref [] in
@@ -417,6 +427,7 @@ and single_pair opts stats vars poly clause fuel v ~rest (b, beta) (a, alpha)
            β mod b and α mod a; within a case both bounds are integral. *)
         let bi = small_int b "lower bound splinter"
         and ai = small_int a "upper bound splinter" in
+        Obs.Budget.check_fanout (ai * bi);
         stats.residue_splinters <- stats.residue_splinters + (ai * bi) - 1;
         Obs.Metrics.observe m_splinter_fanout (ai * bi);
         if Obs.Trace.enabled () then
@@ -492,31 +503,31 @@ let resolve_stats = function
   | None -> (
       match !(ambient_stats ()) with Some s -> s | None -> new_stats ())
 
+(* One traced span per disjunct, with per-clause wall time fed to the
+   clause_us histogram. On a pool worker the span lands in that
+   worker's ring; the export merges rings, so the per-clause spans
+   survive parallel runs. *)
+let clause_task opts vs poly i c st =
+  Obs.Trace.span "clause"
+    ~attrs:(fun () ->
+      [
+        ("index", Obs.Trace.Int i);
+        ("constraints", Obs.Trace.Int (Omega.Clause.size c));
+        ("vars", Obs.Trace.Int (List.length vs));
+      ])
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let r = go opts st vs poly c 0 in
+      let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+      Obs.Metrics.observe m_clause_us us;
+      Obs.Trace.add_attr "pieces" (Obs.Trace.Int (List.length r));
+      r)
+
 let sum_clauses ?(opts = default) ?stats ~vars cls poly =
   let stats = resolve_stats stats in
   let vs = List.map V.named vars in
   stats.dnf_clauses <- stats.dnf_clauses + List.length cls;
   Obs.Metrics.observe m_dnf_clauses (List.length cls);
-  (* One traced span per disjunct, with per-clause wall time fed to the
-     clause_us histogram. On a pool worker the span lands in that
-     worker's ring; the export merges rings, so the per-clause spans
-     survive parallel runs. *)
-  let clause_task i c st =
-    Obs.Trace.span "clause"
-      ~attrs:(fun () ->
-        [
-          ("index", Obs.Trace.Int i);
-          ("constraints", Obs.Trace.Int (Omega.Clause.size c));
-          ("vars", Obs.Trace.Int (List.length vs));
-        ])
-      (fun () ->
-        let t0 = Unix.gettimeofday () in
-        let r = go opts st vs poly c 0 in
-        let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
-        Obs.Metrics.observe m_clause_us us;
-        Obs.Trace.add_attr "pieces" (Obs.Trace.Int (List.length r));
-        r)
-  in
   let pieces =
     Instr.time_phase "sum" (fun () ->
         if Pool.parallel_enabled () && List.length cls > 1 then begin
@@ -527,7 +538,7 @@ let sum_clauses ?(opts = default) ?stats ~vars cls poly =
             Pool.map_list
               (fun (i, c) ->
                 let st = new_stats () in
-                let r = clause_task i c st in
+                let r = clause_task opts vs poly i c st in
                 (r, st))
               (List.mapi (fun i c -> (i, c)) cls)
           in
@@ -535,7 +546,8 @@ let sum_clauses ?(opts = default) ?stats ~vars cls poly =
           Merge.combine (List.map fst results)
         end
         else if Obs.Trace.enabled () then
-          Merge.combine (List.mapi (fun i c -> clause_task i c stats) cls)
+          Merge.combine
+            (List.mapi (fun i c -> clause_task opts vs poly i c stats) cls)
         else
           (* The untraced serial path stays a plain concat_map so
              disabled tracing allocates nothing extra. *)
@@ -543,25 +555,54 @@ let sum_clauses ?(opts = default) ?stats ~vars cls poly =
   in
   Instr.time_phase "simplify" (fun () -> Value.simplify pieces)
 
+let sum_clauses_governed ?(opts = default) ?stats ~vars cls poly =
+  let stats = resolve_stats stats in
+  let vs = List.map V.named vars in
+  stats.dnf_clauses <- stats.dnf_clauses + List.length cls;
+  Obs.Metrics.observe m_dnf_clauses (List.length cls);
+  Instr.time_phase "sum" (fun () ->
+      (* Same fan-out as [sum_clauses], but each clause absorbs its own
+         budget exhaustion: the per-clause results come back in input
+         order as [Ok pieces] / [Error reason], so a caller can assemble
+         a partial answer from whatever completed. Non-budget exceptions
+         (a genuine bug, [Unbounded], …) still propagate. *)
+      let results =
+        Pool.map_list_results
+          (fun (i, c) ->
+            let st = new_stats () in
+            let r = clause_task opts vs poly i c st in
+            (r, st))
+          (List.mapi (fun i c -> (i, c)) cls)
+      in
+      List.map
+        (function
+          | Ok (r, st) ->
+              absorb_stats stats st;
+              Ok r
+          | Error (Obs.Budget.Exhausted reason, _) -> Error reason
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        results)
+
+let to_clauses ?(opts = default) f =
+  (* Section 4.6: when only bounds are wanted, the Omega test may
+     simplify approximately — project quantified variables onto the real
+     (over-approximate) or dark (under-approximate) shadow instead of
+     splintering. Disjointness is still enforced so no overlap inflates
+     a lower bound. *)
+  Instr.time_phase "dnf" (fun () ->
+      match opts.strategy with
+      | Upper ->
+          Omega.Disjoint.to_disjoint
+            (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_real f)
+      | Lower ->
+          Omega.Disjoint.to_disjoint
+            (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_dark f)
+      | Exact | Symbolic ->
+          if opts.disjoint then Omega.Disjoint.of_formula f
+          else Omega.Dnf.of_formula f)
+
 let sum ?(opts = default) ?stats ~vars f poly =
-  let cls =
-    (* Section 4.6: when only bounds are wanted, the Omega test may
-       simplify approximately — project quantified variables onto the real
-       (over-approximate) or dark (under-approximate) shadow instead of
-       splintering. Disjointness is still enforced so no overlap inflates
-       a lower bound. *)
-    Instr.time_phase "dnf" (fun () ->
-        match opts.strategy with
-        | Upper ->
-            Omega.Disjoint.to_disjoint
-              (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_real f)
-        | Lower ->
-            Omega.Disjoint.to_disjoint
-              (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_dark f)
-        | Exact | Symbolic ->
-            if opts.disjoint then Omega.Disjoint.of_formula f
-            else Omega.Dnf.of_formula f)
-  in
+  let cls = to_clauses ~opts f in
   sum_clauses ~opts ?stats ~vars cls poly
 
 let count ?opts ?stats ~vars f = sum ?opts ?stats ~vars f Qpoly.one

@@ -111,6 +111,27 @@ val sum_clauses :
   Qpoly.t ->
   Value.t
 
+(** [to_clauses ?opts f] is the strategy-dependent DNF phase of {!sum}:
+    disjoint DNF for [Exact]/[Symbolic] (plain DNF when
+    [opts.disjoint = false]), real-shadow projection for [Upper],
+    dark-shadow for [Lower]. Runs under the ["dnf"] phase timer. *)
+val to_clauses : ?opts:options -> Presburger.Formula.t -> Omega.Clause.t list
+
+(** [sum_clauses_governed] is {!sum_clauses} for budgeted runs: the same
+    clause fan-out, but each clause that runs out of budget yields
+    [Error reason] instead of unwinding the whole computation, so the
+    caller ([Counting.Governor]) can assemble a partial answer from the
+    clauses that completed. Results come back in clause order and are
+    {e not} merged or simplified ([Ok v] is the clause's raw piece
+    list). Exceptions other than budget exhaustion propagate as usual. *)
+val sum_clauses_governed :
+  ?opts:options ->
+  ?stats:stats ->
+  vars:string list ->
+  Omega.Clause.t list ->
+  Qpoly.t ->
+  (Value.t, Obs.Budget.reason) result list
+
 (** [with_instr ?label ?meta f] runs [f] under instrumentation: phase
     timers are reset, engine counters are collected from every
     [sum]/[count] call inside [f] that does not pass its own [?stats],

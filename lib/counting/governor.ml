@@ -1,0 +1,131 @@
+(* Resource-governed counting — see governor.mli. *)
+
+(* Make sure the chaos hooks are registered (and OMEGA_CHAOS honoured)
+   in any program that can run a governed query. *)
+let () = Chaos.install ()
+
+type budget = {
+  deadline_ms : int option;
+  fuel : int option;
+  max_fanout : int option;
+  max_clauses : int option;
+}
+
+let unlimited =
+  { deadline_ms = None; fuel = None; max_fanout = None; max_clauses = None }
+
+let is_unlimited b =
+  b.deadline_ms = None && b.fuel = None && b.max_fanout = None
+  && b.max_clauses = None
+
+type reason = Obs.Budget.reason =
+  | Deadline
+  | Fuel
+  | Fanout
+  | Clauses
+  | Cancelled
+  | Injected
+
+let reason_name = Obs.Budget.reason_name
+
+type partial = {
+  pieces : Value.t;
+  pieces_done : int;
+  clauses_done : int;
+  clauses_total : int;
+  reason : reason;
+  lower : Value.t;
+  upper : Value.t option;
+}
+
+type outcome = Complete of Value.t | Partial of partial
+
+let ctrl_of b =
+  Obs.Budget.make
+    ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) b.deadline_ms)
+    ?fuel:b.fuel ?max_fanout:b.max_fanout ?max_clauses:b.max_clauses ()
+
+(* Fuel allowance for the over-approximation shadow run: enough for any
+   reasonable formula's real-shadow pass, small enough that a
+   pathological one cannot turn the degradation path itself into a
+   hang. *)
+let shadow_fuel = 50_000
+
+(* Whole-formula Upper-strategy (real-shadow) count under a fresh small
+   budget — the "where cheap" over-approximation. The main control
+   block is already uninstalled when this runs. *)
+let upper_estimate opts ~vars f poly =
+  let opts = { opts with Engine.strategy = Engine.Upper } in
+  let ctrl = Obs.Budget.make ~fuel:shadow_fuel () in
+  match Obs.Budget.with_ctrl ctrl (fun () -> Engine.sum ~opts ~vars f poly) with
+  | v -> Some v
+  | exception Obs.Budget.Exhausted _ -> None
+  | exception Engine.Unbounded _ -> None
+  | exception Omega.Error.Omega_error _ -> None
+
+(* The sum of completed disjoint pieces under-approximates the total
+   only when each piece is itself a sound per-region lower bound:
+   exact pieces (Exact) or dark-shadow/tightened pieces (Lower), over a
+   disjoint clause list. Symbolic pieces carry real-shadow emptiness
+   guards and Upper pieces over-count, so those degrade to lower = 0. *)
+let sound_lower (opts : Engine.options) =
+  opts.disjoint
+  && match opts.strategy with
+     | Engine.Exact | Engine.Lower -> true
+     | Engine.Upper | Engine.Symbolic -> false
+
+let simplified vals =
+  Instr.time_phase "simplify" (fun () -> Value.simplify (Merge.combine vals))
+
+let sum ?(budget = unlimited) ?(opts = Engine.default) ?stats ~vars f poly =
+  let ctrl = ctrl_of budget in
+  let run =
+    Obs.Budget.with_ctrl ctrl (fun () ->
+        match Engine.to_clauses ~opts f with
+        | cls -> (
+            match Engine.sum_clauses_governed ~opts ?stats ~vars cls poly with
+            | per -> `Clauses (List.length cls, per)
+            | exception Obs.Budget.Exhausted r -> `Tripped r)
+        | exception Obs.Budget.Exhausted r -> `Tripped r)
+  in
+  (* Assembly happens with the control block uninstalled: simplification
+     and the shadow run must not be cut short by the already-tripped
+     budget. *)
+  let mk_partial ~clauses_done ~clauses_total ~reason vals =
+    let pieces = simplified vals in
+    Partial
+      {
+        pieces;
+        pieces_done = List.length pieces;
+        clauses_done;
+        clauses_total;
+        reason;
+        lower = (if sound_lower opts then pieces else Value.zero);
+        upper = upper_estimate opts ~vars f poly;
+      }
+  in
+  match run with
+  | `Clauses (_, per) when List.for_all Result.is_ok per ->
+      Complete (simplified (List.filter_map Result.to_option per))
+  | `Clauses (total, per) ->
+      let vals = List.filter_map Result.to_option per in
+      let reason =
+        (* The latched first reason when the budget tripped globally; an
+           isolated injected task kill latches nothing, so fall back to
+           the first per-clause reason in clause order. *)
+        match Obs.Budget.tripped ctrl with
+        | Some r -> r
+        | None -> (
+            match
+              List.find_map
+                (function Error r -> Some r | Ok _ -> None)
+                per
+            with
+            | Some r -> r
+            | None -> assert false)
+      in
+      mk_partial ~clauses_done:(List.length vals) ~clauses_total:total ~reason
+        vals
+  | `Tripped r -> mk_partial ~clauses_done:0 ~clauses_total:0 ~reason:r []
+
+let count ?budget ?opts ?stats ~vars f = sum ?budget ?opts ?stats ~vars f Qpoly.one

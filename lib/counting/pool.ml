@@ -47,6 +47,7 @@ type packed = Packed : 'a future -> packed
 let m_tasks = Obs.Metrics.counter "pool.tasks"
 let m_steals = Obs.Metrics.counter "pool.steals"
 let m_busy_us = Obs.Metrics.counter "pool.busy_us"
+let m_cancelled = Obs.Metrics.counter "pool.cancelled_tasks"
 
 type pool = {
   mu : Mutex.t;
@@ -228,13 +229,26 @@ let run_now f =
       let bt = Printexc.get_raw_backtrace () in
       { state = Atomic.make Finished; result = Atomic.make (Error (e, bt)) }
 
+(* Cooperative cancellation: every pool task polls the ambient budget's
+   cancel token as it starts. A task claimed after the budget tripped
+   (or one the chaos harness decided to kill) fails immediately with
+   [Exhausted] instead of running — this is how workers observe
+   cancellation "between tasks"; long-running tasks additionally observe
+   it at their own fuel checkpoints. *)
+let start_task f =
+  match Obs.Budget.task_interrupt () with
+  | Some r ->
+      Obs.Metrics.incr m_cancelled;
+      raise (Obs.Budget.Exhausted r)
+  | None -> f ()
+
 let spawn f =
   match current () with
-  | None -> run_now f
+  | None -> run_now (fun () -> start_task f)
   | Some p ->
       let result = Atomic.make Unset in
       let run () =
-        match f () with
+        match start_task f with
         | v -> Atomic.set result (Value v)
         | exception e ->
             Atomic.set result (Error (e, Printexc.get_raw_backtrace ()))
@@ -281,11 +295,45 @@ let rec await fut =
           (match next with Some t -> ignore (try_run t (Some p)) | None -> ());
           await fut)
 
+(* Await every spawned future, capturing per-item outcomes. [await]
+   re-raises a task failure with the backtrace recorded where the task
+   body raised; catching it here and immediately reading the backtrace
+   preserves that original trace in the [Error]. Awaiting ALL futures —
+   even after a failure — means a batch never leaks an unjoined task
+   into a later query, and teardown is prompt: under a tripped budget
+   the stragglers fail at their first checkpoint. *)
+let join_all futs =
+  List.map
+    (fun fut ->
+      match await fut with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+    futs
+
+let map_list_results f xs =
+  match xs with
+  | [] -> []
+  | _ when not (parallel_enabled ()) ->
+      List.map
+        (fun x ->
+          match f x with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+        xs
+  | _ -> join_all (List.map (fun x -> spawn (fun () -> f x)) xs)
+
 let map_list f xs =
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
   | _ when not (parallel_enabled ()) -> List.map f xs
   | _ ->
-      let futs = List.map (fun x -> spawn (fun () -> f x)) xs in
-      List.map await futs
+      let results = join_all (List.map (fun x -> spawn (fun () -> f x)) xs) in
+      (* Re-raise the first failure in input order (deterministic no
+         matter which domain hit it first), with its original
+         backtrace. *)
+      List.map
+        (function
+          | Ok v -> v
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        results

@@ -48,8 +48,29 @@ val await : 'a future -> 'a
 
 (** [map_list f xs]: apply [f] to every element through the pool,
     returning results in input order. Serial ([List.map]) when the pool
-    is disabled or [xs] has fewer than two elements. *)
+    is disabled or [xs] has fewer than two elements.
+
+    On failure, every future is still awaited before the {e first}
+    failure in input order is re-raised with its original backtrace — a
+    batch never leaks an unjoined task, the choice of exception is
+    deterministic, and under a tripped budget the drained stragglers
+    fail promptly at their first checkpoint. *)
 val map_list : ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_list_results f xs] is {!map_list} that hands back per-item
+    outcomes instead of re-raising: an item whose task raised yields
+    [Error (exn, backtrace)] (a task killed by cancellation yields
+    [Error (Obs.Budget.Exhausted _, _)]). Used by the governed engine to
+    keep the clauses that finished when others ran out of budget. *)
+val map_list_results :
+  ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
+
+(** {b Cancellation.} Every pool task polls
+    [Obs.Budget.task_interrupt] as it starts: once the ambient budget
+    trips (or is cancelled), tasks not yet started fail instantly with
+    [Exhausted] instead of running, and the [pool.cancelled_tasks]
+    counter records each such kill. Tasks already running stop at their
+    next fuel checkpoint. The pool itself stays up and reusable. *)
 
 (** Join all worker domains and drop the pool (respawned lazily on next
     use). Registered [at_exit]. *)

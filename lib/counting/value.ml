@@ -64,9 +64,9 @@ let eval_zint env v =
   match Qnum.to_zint q with
   | Some z -> z
   | None ->
-      failwith
-        (Printf.sprintf "Counting.Value.eval_zint: non-integral value %s"
-           (Qnum.to_string q))
+      Omega.Error.fail ~phase:"value.eval_zint"
+        ~context:[ ("value", Qnum.to_string q) ]
+        "evaluation produced a non-integral value"
 
 let pp fmt (v : t) =
   match v with

@@ -85,7 +85,9 @@ let articulation_points adj nodes =
    disjoint union (Gist.negate_constraint pieces are disjoint). *)
 let negate_disjoint (c : Clause.t) : Clause.t list =
   if not (V.Set.is_empty c.Clause.wilds) then
-    invalid_arg "Disjoint.negate_disjoint: clause must be wildcard-free";
+    Error.fail ~phase:"disjoint.negate_disjoint"
+      ~context:[ ("wilds", string_of_int (V.Set.cardinal c.Clause.wilds)) ]
+      "clause must be wildcard-free";
   let ks = Gist.constraints_of c in
   let rec go prefix = function
     | [] -> []
@@ -106,8 +108,12 @@ let negate_disjoint (c : Clause.t) : Clause.t list =
 let max_disjoint_depth = 64
 
 let rec disjointify depth (cls : Clause.t list) : Clause.t list =
+  Obs.Budget.charge 1;
+  Obs.Budget.check_clauses (List.length cls);
   if depth > max_disjoint_depth then
-    failwith "Omega.Disjoint: recursion limit exceeded";
+    Error.fail ~phase:"disjoint.disjointify"
+      ~context:[ ("depth", string_of_int depth) ]
+      "recursion limit exceeded";
   match cls with
   | [] | [ _ ] -> cls
   | _ -> begin

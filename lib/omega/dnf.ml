@@ -28,17 +28,26 @@ let negate_atom = function
    to avoid capture between descendants of shared subformulas, dropping
    clauses that normalize to false. *)
 let product (xs : Clause.t list) (ys : Clause.t list) : Clause.t list =
-  List.concat_map
-    (fun x ->
-      List.filter_map
-        (fun y ->
-          Clause.normalize (Clause.conjoin x (Clause.rename_wilds y)))
-        ys)
-    xs
+  (* This is where DNF expansion multiplies: cap the live clause count
+     here and the whole conversion stays bounded. *)
+  Obs.Budget.check_clauses (List.length xs * List.length ys);
+  let r =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y ->
+            Clause.normalize (Clause.conjoin x (Clause.rename_wilds y)))
+          ys)
+      xs
+  in
+  Obs.Budget.check_clauses (List.length r);
+  r
 
 let negate_clause (c : Clause.t) : Clause.t list =
   if not (V.Set.is_empty c.Clause.wilds) then
-    invalid_arg "Dnf.negate_clause: clause must be wildcard-free";
+    Error.fail ~phase:"dnf.negate_clause"
+      ~context:[ ("wilds", string_of_int (V.Set.cardinal c.Clause.wilds)) ]
+      "clause must be wildcard-free";
   let atoms =
     List.map (fun e -> F.Eq e) c.eqs
     @ List.map (fun e -> F.Geq e) c.geqs

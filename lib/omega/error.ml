@@ -1,0 +1,28 @@
+exception
+  Omega_error of {
+    phase : string;
+    what : string;
+    context : (string * string) list;
+  }
+
+let to_string ~phase ~what context =
+  let ctx =
+    match context with
+    | [] -> ""
+    | kvs ->
+        Printf.sprintf " (%s)"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) kvs))
+  in
+  Printf.sprintf "Omega error [%s]: %s%s" phase what ctx
+
+let fail ~phase ?(context = []) fmt =
+  Printf.ksprintf
+    (fun what -> raise (Omega_error { phase; what; context }))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Omega_error { phase; what; context } ->
+        Some (to_string ~phase ~what context)
+    | _ -> None)

@@ -1,0 +1,35 @@
+(** Typed solver errors.
+
+    The solver and engine used to signal internal-limit and misuse
+    conditions with bare [Failure]/[Invalid_argument], which callers
+    could only match by message string. {!Omega_error} replaces those on
+    the hot paths: [phase] names the subsystem step that failed (e.g.
+    ["solve.project"]), [what] says what went wrong, and [context]
+    carries structured key/value detail (the variable involved, a step
+    count, …).
+
+    A [Printexc] printer is registered at module load, so uncaught
+    errors render as
+    [Omega error [solve.project]: reduction did not terminate (steps=10001)].
+
+    Low-level precondition checks in [Zint], [Obs.Metrics], [Memo] and
+    [Clause] intentionally remain [Invalid_argument]: they guard API
+    contracts, not data-dependent solver limits. *)
+
+exception
+  Omega_error of {
+    phase : string;  (** subsystem step, e.g. ["dnf.negate_clause"] *)
+    what : string;  (** human-readable description *)
+    context : (string * string) list;  (** structured detail *)
+  }
+
+(** [fail ~phase ?context fmt …] raises {!Omega_error} with a formatted
+    [what]. *)
+val fail :
+  phase:string ->
+  ?context:(string * string) list ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+
+(** The registered printer's rendering (also used by [omcount]). *)
+val to_string : phase:string -> what:string -> (string * string) list -> string

@@ -130,7 +130,9 @@ let gist_memo p given =
 
 let gist p ~given =
   if not (V.Set.is_empty p.Clause.wilds) then
-    invalid_arg "Gist.gist: p must be wildcard-free";
+    Error.fail ~phase:"gist"
+      ~context:[ ("wilds", string_of_int (V.Set.cardinal p.Clause.wilds)) ]
+      "p must be wildcard-free";
   if Obs.Trace.enabled () then
     Obs.Trace.span "gist"
       ~attrs:(fun () ->

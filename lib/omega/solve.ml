@@ -43,6 +43,10 @@ let bounds v geqs =
    it is exact, always applicable, and terminates in conjunction with
    stride normalization, which reduces coefficients modulo the modulus. *)
 let eliminate_via_eq v c =
+  (* One fuel unit per equality elimination: this is the workhorse step
+     of projection, feasibility, and the engine's stride handling, so
+     fuel tracks real work wherever the recursion goes. *)
+  Obs.Budget.charge 1;
   let mc = Memo.local () in
   mc.eliminations <- mc.eliminations + 1;
   let open Clause in
@@ -60,7 +64,10 @@ let eliminate_via_eq v c =
       None c.eqs
   in
   match best with
-  | None -> invalid_arg "Solve.eliminate_via_eq: no equality contains v"
+  | None ->
+      Error.fail ~phase:"solve.eliminate_via_eq"
+        ~context:[ ("var", V.to_string v) ]
+        "no equality contains the variable"
   | Some (k, e) ->
       let r = A.subst e v A.zero in
       (* k·v = -r. Normalize to k'·v = rhs with k' > 0. *)
@@ -100,8 +107,9 @@ let check_no_eq_occurrence v (c : Clause.t) =
   let occurs e = not (Zint.is_zero (A.coeff e v)) in
   if List.exists occurs c.eqs || List.exists (fun (_, e) -> occurs e) c.strides
   then
-    invalid_arg
-      "Solve.eliminate: variable still occurs in equalities or strides"
+    Error.fail ~phase:"solve.eliminate"
+      ~context:[ ("var", V.to_string v) ]
+      "variable still occurs in equalities or strides"
 
 let eliminate_core mode v (c : Clause.t) : Clause.t list =
   let mc = Memo.local () in
@@ -218,6 +226,7 @@ let eliminate_core mode v (c : Clause.t) : Clause.t list =
 let eliminate_uncached mode v c =
   let r = eliminate_core mode v c in
   let fan_out = List.length r in
+  Obs.Budget.check_fanout fan_out;
   Obs.Metrics.observe m_elim_fanout fan_out;
   (match r with
   | _ :: _ :: _ when Obs.Trace.enabled () ->
@@ -243,6 +252,9 @@ let mode_tag = function
   | Approx_real -> 3
 
 let eliminate_memo mode v (c : Clause.t) : Clause.t list =
+  (* Charged before the cache lookup, so the fuel a query consumes does
+     not depend on cache warmth. *)
+  Obs.Budget.charge 1;
   let mc = Memo.local () in
   mc.elim_queries <- mc.elim_queries + 1;
   if not (Memo.enabled ()) then eliminate_uncached mode v c
@@ -294,8 +306,11 @@ let project_core mode vars (c : Clause.t) : Clause.t list =
   let c = { c with wilds = V.Set.union c.wilds (V.Set.of_list vars) } in
   let out = ref [] in
   let rec reduce steps c =
+    Obs.Budget.charge 1;
     if steps > max_reduction_steps then
-      failwith "Omega.Solve.project: reduction did not terminate";
+      Error.fail ~phase:"solve.project"
+        ~context:[ ("steps", string_of_int steps) ]
+        "reduction did not terminate";
     match Clause.normalize c with
     | None -> ()
     | Some c -> begin
@@ -395,8 +410,11 @@ let feas_cache : bool FeasTbl.t = FeasTbl.create 32768
    [Disjoint] or the entailment checks of [Gist] — reuse each other's
    intermediate results. *)
 let rec feasible steps (c : Clause.t) =
+  Obs.Budget.charge 1;
   if steps > max_reduction_steps then
-    failwith "Omega.Solve.is_feasible: did not terminate";
+    Error.fail ~phase:"solve.is_feasible"
+      ~context:[ ("steps", string_of_int steps) ]
+      "did not terminate";
   let mc = Memo.local () in
   mc.feas_queries <- mc.feas_queries + 1;
   if not (Memo.enabled ()) then feasible_body steps c

@@ -20,4 +20,5 @@ let () =
       Test_trace.suite;
       Test_parallel.suite;
       Test_alloc.suite;
+      Test_governor.suite;
     ]

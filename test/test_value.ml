@@ -55,7 +55,7 @@ let test_eval_zint_rejects_fractional () =
     (try
        ignore (Counting.Value.eval_zint (fun _ -> raise Not_found) p);
        false
-     with Failure _ -> true)
+     with Omega.Error.Omega_error { phase = "value.eval_zint"; _ } -> true)
 
 (* Engine with equalities/strides interacting with the summand. *)
 let test_sum_with_equality () =
