@@ -104,6 +104,40 @@ let sor =
       ];
   }
 
+(* Differential seed 472: box [-4,4]^3, 3 | -2x - y - 3z - 1, and five
+   dense rows. Kept in sync with test_differential.gen_dense_case by the
+   D1 value check below (brute-force count over the box is 12). *)
+let dense_simplex_formula =
+  let geq cx cy cz c0 =
+    F.geq
+      (A.add_const
+         (A.add
+            (A.scale (Zint.of_int cx) (v "x"))
+            (A.add
+               (A.scale (Zint.of_int cy) (v "y"))
+               (A.scale (Zint.of_int cz) (v "z"))))
+         (Zint.of_int c0))
+      A.zero
+  in
+  F.and_
+    [
+      F.between (k (-4)) (v "x") (k 4);
+      F.between (k (-4)) (v "y") (k 4);
+      F.between (k (-4)) (v "z") (k 4);
+      F.stride (Zint.of_int 3)
+        (A.add_const
+           (A.add
+              (A.scale (Zint.of_int (-2)) (v "x"))
+              (A.add (A.scale Zint.minus_one (v "y"))
+                 (A.scale (Zint.of_int (-3)) (v "z"))))
+           Zint.minus_one);
+      geq (-2) 4 3 (-1);
+      geq 4 5 (-1) 10;
+      geq (-2) 5 4 4;
+      geq 3 (-5) 1 (-1);
+      geq 1 2 (-1) 1;
+    ]
+
 (* Section 2.6 formula (the 12 ms simplification on a 1992 Sun SPARC). *)
 let section26_formula =
   let i' = V.named "i'" in
@@ -418,6 +452,9 @@ let check_results () : (string * string * string) list =
       "3,7,15,31",
       String.concat ","
         (List.map (fun kk -> string_of_int (fst (a3 kk))) [ 2; 3; 4; 5 ]) );
+    ( "D1 dense simplex count",
+      "(12)",
+      sym (E.count ~vars:[ "x"; "y"; "z" ] dense_simplex_formula) );
     ( "A3 disjoint clauses k=2..5",
       "2,3,3,4",
       String.concat ","
@@ -660,6 +697,110 @@ let par_report emit =
            label par_jobs serial_s parallel_s (serial_s /. parallel_s)))
     par_experiments
 
+(* ------------------------------------------------------------------ *)
+(* Counting-backend comparison (Engine.backend): the Pugh splintering
+   engine vs the generating-function backend vs the per-clause Auto
+   choice. Three workloads with three distinct morals:
+   - E4 (FST91 distinct locations): the full query is dominated by
+     quantifier elimination, which no counting backend touches — the
+     full-count line records backend neutrality, and a second line times
+     the clause-summation phase alone (DNF precomputed), which is the
+     phase the backend owns and where Auto's dispatch wins.
+   - S33 (HPF ownership): symbolic in [n], so gfcount legitimately
+     falls back to Pugh on every clause — the line pins "Auto never
+     regresses" on a workload it cannot help.
+   - D1 (dense simplex; differential seed 472 inlined verbatim):
+     quantifier-free, one mod-3 stride, five dense inequalities. Pugh's
+     residue splintering multiplies across the large coefficients while
+     the cone decomposition stays polynomial — the headline gap.
+   Every line also asserts that the three backends render byte-identical
+   values (the drop-in guarantee); a mismatch aborts the bench run. *)
+
+(* The three sides of one comparison, interleaved rep by rep so that
+   slow drift over the measurement window (heap growth, CPU frequency)
+   hits all sides equally instead of penalizing whichever is timed
+   last. *)
+let time_interleaved ~reps fs =
+  let best = Array.make (List.length fs) infinity in
+  for _ = 1 to reps do
+    List.iteri
+      (fun i f ->
+        Omega.Memo.clear_all ();
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < best.(i) then best.(i) <- dt)
+      fs
+  done;
+  Array.to_list best
+
+let backends = [ ("pugh", E.Pugh); ("gf", E.Gf); ("auto", E.Auto) ]
+
+let backend_experiments =
+  [
+    ( "backend_compare_E4",
+      3,
+      fun backend ->
+        E.count ~opts:{ E.default with backend } ~vars:[ "x" ] example4_formula
+    );
+    ( "backend_compare_E4_sumphase",
+      25,
+      (let cls = lazy (E.to_clauses example4_formula) in
+       fun backend ->
+         E.sum_clauses
+           ~opts:{ E.default with backend }
+           ~vars:[ "x" ] (Lazy.force cls) Qpoly.one) );
+    ( "backend_compare_S33",
+      3,
+      fun backend ->
+        Loopapps.Hpf.ownership_count
+          ~opts:{ E.default with backend }
+          { Loopapps.Hpf.procs = 8; block = 4 }
+          ~proc:0 );
+    ( "backend_compare_D1_dense",
+      1,
+      fun backend ->
+        E.count
+          ~opts:{ E.default with backend }
+          ~vars:[ "x"; "y"; "z" ] dense_simplex_formula );
+  ]
+
+let backend_report emit =
+  Printf.printf
+    "Backend comparison (cold caches, interleaved best-of-k, jobs pinned 1):\n";
+  let saved = Counting.Pool.jobs () in
+  Counting.Pool.set_jobs 1;
+  Fun.protect ~finally:(fun () -> Counting.Pool.set_jobs saved) @@ fun () ->
+  List.iter
+    (fun (label, reps, f) ->
+      (* byte-identity first: the values the timed runs recompute *)
+      let rendered =
+        List.map
+          (fun (bname, b) ->
+            Omega.Memo.clear_all ();
+            (bname, Counting.Value.to_string (f b)))
+          backends
+      in
+      let reference = List.assoc "pugh" rendered in
+      List.iter
+        (fun (bname, s) ->
+          if not (String.equal reference s) then
+            failwith
+              (Printf.sprintf "%s: backend %s output differs from pugh" label
+                 bname))
+        rendered;
+      match
+        time_interleaved ~reps
+          (List.map (fun (_, b) () -> ignore (f b)) backends)
+      with
+      | [ pugh_s; gf_s; auto_s ] ->
+          emit
+            (Printf.sprintf
+               "{\"label\":\"%s\",\"pugh_s\":%.6f,\"gf_s\":%.6f,\"auto_s\":%.6f,\"auto_speedup\":%.2f,\"identical\":true}"
+               label pugh_s gf_s auto_s (pugh_s /. auto_s))
+      | _ -> assert false)
+    backend_experiments
+
 (* Governor overhead on the two heaviest paper experiments. The budget
    checkpoints are always compiled in, so the baseline (plain
    [Engine.count], no control block — every check is one atomic load)
@@ -707,24 +848,6 @@ let baseline_experiments =
           (Counting.Merge.merge_residues
              (E.count ~vars:[ "i"; "j" ] example6_formula)) );
   ]
-
-(* The three sides of one comparison, interleaved rep by rep so that
-   slow drift over the measurement window (heap growth, CPU frequency)
-   hits all sides equally instead of penalizing whichever is timed
-   last. *)
-let time_interleaved ~reps fs =
-  let best = Array.make (List.length fs) infinity in
-  for _ = 1 to reps do
-    List.iteri
-      (fun i f ->
-        Omega.Memo.clear_all ();
-        let t0 = Unix.gettimeofday () in
-        f ();
-        let dt = Unix.gettimeofday () -. t0 in
-        if dt < best.(i) then best.(i) <- dt)
-      fs
-  done;
-  Array.to_list best
 
 let governor_report emit =
   Printf.printf "Governor overhead (cold caches, interleaved best of 9):\n";
@@ -853,6 +976,7 @@ let () =
   Option.iter (fun _ -> Obs.Trace.set_enabled true) trace_file;
   instr_report emit;
   par_report emit;
+  backend_report emit;
   governor_report emit;
   Option.iter
     (fun f ->

@@ -100,9 +100,9 @@ let json_partial bindings (p : Counting.Governor.partial) =
   Buffer.add_string b "}}";
   print_endline (Buffer.contents b)
 
-let run query bindings strategy merge stats ~budget ~json =
+let run query bindings strategy backend merge stats ~budget ~json =
   let q = Preslang.parse_query query in
-  let opts = { Counting.Engine.default with strategy } in
+  let opts = { Counting.Engine.default with strategy; backend } in
   let governed = json || not (Counting.Governor.is_unlimited budget) in
   let merged v = if merge then Counting.Merge.merge_residues v else v in
   if not governed then begin
@@ -242,6 +242,7 @@ let report_parse_error src pos msg =
 let () =
   let bindings = ref [] in
   let strategy = ref Counting.Engine.Exact in
+  let backend = ref Counting.Engine.Pugh in
   let merge = ref true in
   let simplify = ref false in
   let stats = ref false in
@@ -272,6 +273,18 @@ let () =
                | "symbolic" -> Counting.Engine.Symbolic
                | _ -> Counting.Engine.Exact)),
         "  rational-bound strategy (default exact)" );
+      ( "--backend",
+        Arg.Symbol
+          ([ "pugh"; "gf"; "auto" ],
+           fun s ->
+             backend :=
+               (match s with
+               | "gf" -> Counting.Engine.Gf
+               | "auto" -> Counting.Engine.Auto
+               | _ -> Counting.Engine.Pugh)),
+        "  per-clause counting backend: the splintering engine (pugh, \
+         default), the generating-function backend (gf), or a per-clause \
+         fan-out heuristic (auto); answers are byte-identical" );
       ("--no-merge", Arg.Clear merge, "  do not merge residue classes");
       ( "--jobs",
         Arg.Int Counting.Pool.set_jobs,
@@ -344,7 +357,8 @@ let () =
       in
       try
         if !simplify then simplify_formula q !stats
-        else run q !bindings !strategy !merge !stats ~budget ~json:!json
+        else
+          run q !bindings !strategy !backend !merge !stats ~budget ~json:!json
       with
       | Preslang.Parse_error (pos, msg) ->
           report_parse_error q pos msg;

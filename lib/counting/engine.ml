@@ -4,9 +4,11 @@ module F = Presburger.Formula
 module C = Omega.Clause
 
 type strategy = Exact | Upper | Lower | Symbolic
+type backend = Pugh | Gf | Auto
 
 type options = {
   strategy : strategy;
+  backend : backend;
   flexible_order : bool;
   eliminate_redundant : bool;
   guard_empty : bool;
@@ -16,6 +18,7 @@ type options = {
 let default =
   {
     strategy = Exact;
+    backend = Pugh;
     flexible_order = true;
     eliminate_redundant = true;
     guard_empty = true;
@@ -38,9 +41,12 @@ let strategy_name = function
   | Lower -> "lower"
   | Symbolic -> "symbolic"
 
+let backend_name = function Pugh -> "pugh" | Gf -> "gf" | Auto -> "auto"
+
 let opts_fields o =
   [
     ("strategy", strategy_name o.strategy);
+    ("backend", backend_name o.backend);
     ("flexible_order", string_of_bool o.flexible_order);
     ("eliminate_redundant", string_of_bool o.eliminate_redundant);
     ("guard_empty", string_of_bool o.guard_empty);
@@ -503,6 +509,52 @@ let resolve_stats = function
   | None -> (
       match !(ambient_stats ()) with Some s -> s | None -> new_stats ())
 
+(* ------------------------------------------------------------------ *)
+(* Backend dispatch (per disjoint clause). The generating-function
+   backend applies only to Exact-strategy, constant-summand, fully
+   concrete clauses; everything it cannot handle falls back to the Pugh
+   recursion — including unbounded regions, which then raise [Unbounded]
+   exactly as before. A clause counted by gfcount yields a single
+   top-guarded constant piece; the Pugh pieces of such a clause collapse
+   to the same thing in [Value.simplify], so the two backends are
+   byte-identical after rendering. *)
+
+let m_gf_clauses = Obs.Metrics.counter "engine.gf_clauses"
+let m_gf_fallback = Obs.Metrics.counter "engine.gf_fallback"
+
+(* Auto picks gfcount for clauses whose estimated residue fan-out says
+   the Pugh engine would splinter. The estimate is static in the clause,
+   so the choice is identical at every jobs level. *)
+let auto_fanout_threshold = 2
+
+let try_gf opts vs c =
+  opts.strategy = Exact
+  &&
+  match opts.backend with
+  | Pugh -> false
+  | Gf -> true
+  | Auto -> Gfcount.estimate_fanout vs c >= auto_fanout_threshold
+
+let run_clause opts stats vs poly c =
+  let fallback () = go opts stats vs poly c 0 in
+  if try_gf opts vs c then
+    match Qpoly.to_const poly with
+    | Some k -> begin
+        match Gfcount.count_clause ~vars:vs c with
+        | Some n ->
+            Obs.Metrics.incr m_gf_clauses;
+            let r =
+              Value.piece C.top (Qpoly.const (Qnum.mul k (Qnum.of_zint n)))
+            in
+            stats.pieces <- stats.pieces + List.length r;
+            r
+        | None ->
+            Obs.Metrics.incr m_gf_fallback;
+            fallback ()
+      end
+    | None -> fallback ()
+  else fallback ()
+
 (* One traced span per disjunct, with per-clause wall time fed to the
    clause_us histogram. On a pool worker the span lands in that
    worker's ring; the export merges rings, so the per-clause spans
@@ -517,7 +569,7 @@ let clause_task opts vs poly i c st =
       ])
     (fun () ->
       let t0 = Unix.gettimeofday () in
-      let r = go opts st vs poly c 0 in
+      let r = run_clause opts st vs poly c in
       let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
       Obs.Metrics.observe m_clause_us us;
       Obs.Trace.add_attr "pieces" (Obs.Trace.Int (List.length r));
@@ -551,7 +603,7 @@ let sum_clauses ?(opts = default) ?stats ~vars cls poly =
         else
           (* The untraced serial path stays a plain concat_map so
              disabled tracing allocates nothing extra. *)
-          List.concat_map (fun c -> go opts stats vs poly c 0) cls)
+          List.concat_map (fun c -> run_clause opts stats vs poly c) cls)
   in
   Instr.time_phase "simplify" (fun () -> Value.simplify pieces)
 

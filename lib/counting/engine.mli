@@ -41,8 +41,23 @@ type strategy =
           emptiness guard of such a piece is the real-shadow
           approximation, as Section 4.2.2 permits *)
 
+(** Counting backend per disjoint clause. *)
+type backend =
+  | Pugh  (** the splintering summation engine (default) *)
+  | Gf
+      (** the generating-function (Barvinok) backend of {!Gfcount} for
+          every clause it applies to — Exact strategy, constant summand,
+          fully concrete, within its dimension caps — with per-clause
+          fallback to Pugh otherwise. Byte-identical output. *)
+  | Auto
+      (** per-clause choice: gfcount when the static
+          {!Gfcount.estimate_fanout} says the Pugh engine would splinter
+          (fan-out ≥ 2), Pugh otherwise. The estimate depends only on the
+          clause, so choices are identical at every [--jobs] level. *)
+
 type options = {
   strategy : strategy;
+  backend : backend;
   flexible_order : bool;
       (** [false] forces the fixed (innermost-first) elimination order of
           Tawbi's algorithm — the ablation of Example 1. *)
@@ -62,6 +77,9 @@ val default : options
 
 (** Stable lowercase name of a strategy, used in reports and traces. *)
 val strategy_name : strategy -> string
+
+(** Stable lowercase name of a backend ([pugh] / [gf] / [auto]). *)
+val backend_name : backend -> string
 
 (** Options as labelled string fields ([strategy], [flexible_order], …),
     the [options] block of the self-describing JSON reports. *)

@@ -350,3 +350,370 @@ let kernel a =
   match solve a (Array.make (Mat.rows a) Zint.zero) with
   | Some (_, k) -> k
   | None -> assert false (* x = 0 always solves A x = 0 *)
+
+(* ------------------------------------------------------------------ *)
+(* Rational helpers shared by the inverse, LLL, and cone machinery.     *)
+
+let qdot a b =
+  let acc = ref Qnum.zero in
+  Array.iteri (fun i ai -> acc := Qnum.add !acc (Qnum.mul ai b.(i))) a;
+  !acc
+
+let q_of_row = Array.map Qnum.of_zint
+
+(* Gauss-Jordan inverse over Qnum, also returning the determinant.
+   [None] when singular. *)
+let qinverse (a : Zint.t array array) : (Qnum.t array array * Qnum.t) option =
+  let n = Array.length a in
+  let w = Array.map q_of_row a in
+  let inv =
+    Array.init n (fun i ->
+        Array.init n (fun j -> if i = j then Qnum.one else Qnum.zero))
+  in
+  let det = ref Qnum.one in
+  let singular = ref false in
+  (try
+     for col = 0 to n - 1 do
+       let piv = ref (-1) in
+       for i = n - 1 downto col do
+         if not (Qnum.is_zero w.(i).(col)) then piv := i
+       done;
+       if !piv < 0 then begin
+         singular := true;
+         raise Exit
+       end;
+       if !piv <> col then begin
+         let t = w.(col) in
+         w.(col) <- w.(!piv);
+         w.(!piv) <- t;
+         let t = inv.(col) in
+         inv.(col) <- inv.(!piv);
+         inv.(!piv) <- t;
+         det := Qnum.neg !det
+       end;
+       let p = w.(col).(col) in
+       det := Qnum.mul !det p;
+       let ip = Qnum.inv p in
+       for j = 0 to n - 1 do
+         w.(col).(j) <- Qnum.mul w.(col).(j) ip;
+         inv.(col).(j) <- Qnum.mul inv.(col).(j) ip
+       done;
+       for i = 0 to n - 1 do
+         if i <> col && not (Qnum.is_zero w.(i).(col)) then begin
+           let f = w.(i).(col) in
+           for j = 0 to n - 1 do
+             w.(i).(j) <- Qnum.sub w.(i).(j) (Qnum.mul f w.(col).(j));
+             inv.(i).(j) <- Qnum.sub inv.(i).(j) (Qnum.mul f inv.(col).(j))
+           done
+         end
+       done
+     done
+   with Exit -> ());
+  if !singular then None else Some (inv, !det)
+
+let inv_scaled (a : Mat.t) : (Mat.t * Zint.t) option =
+  let n = Mat.rows a in
+  if n <> Mat.cols a then invalid_arg "Ilinalg.inv_scaled: non-square matrix";
+  match qinverse a with
+  | None -> None
+  | Some (inv, det) ->
+      let d =
+        match Qnum.to_zint det with
+        | Some d -> d
+        | None -> assert false (* determinant of an integer matrix *)
+      in
+      let adj =
+        Array.map
+          (Array.map (fun q ->
+               match Qnum.to_zint (Qnum.mul_zint q d) with
+               | Some z -> z
+               | None -> assert false (* adjugate entries are integers *)))
+          inv
+      in
+      Some (adj, d)
+
+(* ------------------------------------------------------------------ *)
+(* LLL basis reduction (delta = 3/4), textbook rational Gram-Schmidt.
+   Dimensions here are tiny (cone decomposition works in the clause's
+   summation dimension), so the O(n^3) recompute-per-step variant is
+   plenty fast and keeps the code auditable. *)
+
+let lll (basis : Zint.t array array) : Zint.t array array =
+  let n = Array.length basis in
+  if n = 0 then [||]
+  else begin
+    let b = Array.map Array.copy basis in
+    let dim = Array.length b.(0) in
+    ignore dim;
+    (* Gram-Schmidt: returns (mu, norms) where norms.(i) = |b*_i|^2. *)
+    let gram () =
+      let star = Array.map q_of_row b in
+      let mu = Array.make_matrix n n Qnum.zero in
+      let norms = Array.make n Qnum.zero in
+      for i = 0 to n - 1 do
+        for j = 0 to i - 1 do
+          let num = qdot (q_of_row b.(i)) star.(j) in
+          let m =
+            if Qnum.is_zero norms.(j) then Qnum.zero
+            else Qnum.div num norms.(j)
+          in
+          mu.(i).(j) <- m;
+          Array.iteri
+            (fun t sjt ->
+              star.(i).(t) <- Qnum.sub star.(i).(t) (Qnum.mul m sjt))
+            star.(j)
+        done;
+        norms.(i) <- qdot star.(i) star.(i)
+      done;
+      (mu, norms)
+    in
+    let qhalf = Qnum.of_ints 1 2 in
+    let delta = Qnum.of_ints 3 4 in
+    (* round to nearest integer, ties toward +inf (any tie rule works) *)
+    let round q = Qnum.floor (Qnum.add q qhalf) in
+    let size_reduce i j mu =
+      let r = round mu.(i).(j) in
+      if not (Zint.is_zero r) then
+        Array.iteri
+          (fun t bjt -> b.(i).(t) <- Zint.sub b.(i).(t) (Zint.mul r bjt))
+          b.(j)
+    in
+    let k = ref 1 in
+    let steps = ref 0 in
+    while !k < n && !steps < 10_000 do
+      incr steps;
+      let mu, _ = gram () in
+      for j = !k - 1 downto 0 do
+        size_reduce !k j mu;
+        (* mu entries for smaller j shift after a reduction; recompute *)
+        let mu', _ = gram () in
+        Array.blit mu'.(!k) 0 mu.(!k) 0 n
+      done;
+      let mu, norms = gram () in
+      let lhs = norms.(!k) in
+      let rhs =
+        Qnum.mul
+          (Qnum.sub delta (Qnum.mul mu.(!k).(!k - 1) mu.(!k).(!k - 1)))
+          norms.(!k - 1)
+      in
+      if Qnum.compare lhs rhs >= 0 then incr k
+      else begin
+        let t = b.(!k) in
+        b.(!k) <- b.(!k - 1);
+        b.(!k - 1) <- t;
+        k := Stdlib.max (!k - 1) 1
+      end
+    done;
+    b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cones: triangulation and signed unimodular (Barvinok) splitting.
+
+   A cone is given by its generators, one integer vector per row. The
+   decomposition works in whatever space the caller chose — the counting
+   backend calls it on *dual* tangent cones, where lower-dimensional
+   pieces may legitimately be discarded (they dualize back to cones
+   containing lines, whose generating functions vanish). *)
+
+module Cone = struct
+  let primitive v =
+    let g =
+      Array.fold_left (fun acc x -> Zint.gcd acc x) Zint.zero v
+    in
+    if Zint.is_zero g || Zint.is_one g then Array.copy v
+    else Array.map (fun x -> Zint.divexact x g) v
+
+  (* Deterministic pseudo-random lifting weights (splitmix-style hash),
+     re-drawn per attempt until the lifting is generic. *)
+  let weight ~attempt i =
+    let h = ref (((attempt * 0x9e3779b9) + (i * 0x85ebca6b)) land 0x3fffffff) in
+    h := !h lxor (!h lsr 13);
+    h := (!h * 0xc2b2ae35) land 0x3fffffff;
+    h := !h lxor (!h lsr 16);
+    1 + (!h land 0xfffff)
+
+  exception Degenerate
+
+  (* All d-subsets of [0..m-1], lexicographic. *)
+  let subsets m d =
+    let acc = ref [] in
+    let rec go start chosen =
+      if List.length chosen = d then acc := List.rev chosen :: !acc
+      else
+        for i = start to m - 1 do
+          go (i + 1) (i :: chosen)
+        done
+    in
+    go 0 [];
+    List.rev !acc
+
+  let triangulate (gens : Zint.t array array) : Zint.t array array list =
+    let m = Array.length gens in
+    if m = 0 then []
+    else begin
+      let d = Array.length gens.(0) in
+      if m = d then [ Array.map Array.copy gens ]
+      else begin
+        (* Regular (lower-envelope) triangulation: lift generator i to
+           height w(i); a d-subset S with lin.indep. generators is a cell
+           iff the affine functional matching the lifted heights on S is
+           strictly below every other lifted generator. Generic weights
+           make the envelope simplicial; on a tie we redraw. *)
+        let attempt = ref 0 in
+        let result = ref None in
+        while !result = None do
+          incr attempt;
+          if !attempt > 64 then
+            invalid_arg "Ilinalg.Cone.triangulate: no generic lifting found";
+          let w = Array.init m (fun i -> weight ~attempt:!attempt i) in
+          try
+            let cells = ref [] in
+            List.iter
+              (fun s ->
+                let idx = Array.of_list s in
+                let sub = Array.map (fun i -> gens.(i)) idx in
+                match qinverse sub with
+                | None -> () (* linearly dependent: not a simplex *)
+                | Some (inv, _) ->
+                    (* alpha solves  gens.(i) . alpha = w.(i)  for i in S *)
+                    let ws = Array.map (fun i -> Qnum.of_int w.(i)) idx in
+                    let alpha =
+                      Array.init d (fun j ->
+                          let acc = ref Qnum.zero in
+                          for t = 0 to d - 1 do
+                            acc := Qnum.add !acc (Qnum.mul inv.(j).(t) ws.(t))
+                          done;
+                          !acc)
+                    in
+                    let lower = ref true in
+                    Array.iteri
+                      (fun i g ->
+                        if !lower && not (List.mem i s) then begin
+                          let v = qdot alpha (q_of_row g) in
+                          let c = Qnum.compare v (Qnum.of_int w.(i)) in
+                          if c = 0 then raise Degenerate;
+                          if c > 0 then lower := false
+                        end)
+                      gens;
+                    if !lower then cells := sub :: !cells)
+              (subsets m d);
+            result := Some (List.rev !cells)
+          with Degenerate -> ()
+        done;
+        Option.get !result
+      end
+    end
+
+  (* Signed decomposition of a simplicial full-dimensional cone into
+     unimodular cones, discarding lower-dimensional pieces (valid in dual
+     space, see above). [on_cone] is invoked once per cone processed, so
+     the caller can charge fuel. *)
+  let unimodular_split ?(on_cone = fun () -> ()) (gens : Zint.t array array) :
+      (int * Zint.t array array) list =
+    let d = Array.length gens in
+    if d = 0 then invalid_arg "Ilinalg.Cone.unimodular_split: empty cone";
+    let acc = ref [] in
+    let rec go sign gens =
+      on_cone ();
+      let g = Array.map primitive gens in
+      match inv_scaled (Mat.of_arrays g) with
+      | None ->
+          (* lower-dimensional: discarded (dual-space identity) *)
+          ()
+      | Some (adj, det) ->
+          if Zint.is_one (Zint.abs det) then acc := (sign, g) :: !acc
+          else begin
+            (* Find a nonzero integer z = sum_i lambda_i g_i with every
+               |lambda_i| < 1. Writing z = w . G / det with w = z . adj(G),
+               lambda = w / det, so we need a nonzero lattice vector
+               w in Z^d . adj(G) with sup-norm < |det| — Minkowski
+               guarantees one with sup-norm <= |det|^((d-1)/d). LLL-reduce
+               the rows of adj(G) and search small combinations. *)
+          let reduced = lll adj in
+          let absdet = Zint.abs det in
+          let best = ref None in
+          let consider (w : Zint.t array) =
+            if Array.exists (fun x -> not (Zint.is_zero x)) w then begin
+              let sup =
+                Array.fold_left (fun m x -> Zint.max m (Zint.abs x)) Zint.zero w
+              in
+              if Zint.compare sup absdet < 0 then
+                match !best with
+                | Some (s, _) when Zint.compare s sup <= 0 -> ()
+                | _ -> best := Some (sup, Array.copy w)
+            end
+          in
+          let radius = ref 1 in
+          while !best = None && !radius <= 32 do
+            (* enumerate c in [-radius, radius]^d, w = sum c_i reduced_i *)
+            let c = Array.make d (- !radius) in
+            let continue_ = ref true in
+            while !continue_ do
+              let w = Array.make (Array.length adj.(0)) Zint.zero in
+              Array.iteri
+                (fun i ci ->
+                  if ci <> 0 then
+                    Array.iteri
+                      (fun j rij ->
+                        w.(j) <- Zint.add w.(j) (Zint.mul_int rij ci))
+                      reduced.(i))
+                c;
+              consider w;
+              (* odometer increment *)
+              let rec bump i =
+                if i >= d then continue_ := false
+                else if c.(i) < !radius then c.(i) <- c.(i) + 1
+                else begin
+                  c.(i) <- - !radius;
+                  bump (i + 1)
+                end
+              in
+              bump 0
+            done;
+            if !best = None then radius := !radius * 2
+          done;
+          match !best with
+          | None ->
+              invalid_arg
+                "Ilinalg.Cone.unimodular_split: no short vector found"
+          | Some (_, w) ->
+              (* The circuit identity behind the signed recursion is only
+                 valid modulo lower-dimensional cones when
+                 cone(g_1..g_d, z) is pointed, i.e. when some lambda_i is
+                 positive; otherwise the error term is a full-dimensional
+                 cone with lines (e.g. all of R^d), which would survive
+                 dualization. Flip z in that case — all lambda_i become
+                 positive and the step is a plain stellar subdivision. *)
+              let w =
+                if
+                  Array.exists (fun wi -> Zint.sign wi * Zint.sign det > 0) w
+                then w
+                else Array.map Zint.neg w
+              in
+              (* z = w . G / det (exact); lambda_i = w_i / det *)
+              let dim = Array.length g.(0) in
+              let z =
+                Array.init dim (fun j ->
+                    let acc = ref Zint.zero in
+                    Array.iteri
+                      (fun i wi ->
+                        acc := Zint.add !acc (Zint.mul wi g.(i).(j)))
+                      w;
+                    Zint.divexact !acc det)
+              in
+              Array.iteri
+                (fun i wi ->
+                  (* lambda_i = w_i / det; skip zero (lower-dim cone) *)
+                  let s = Zint.sign wi * Zint.sign det in
+                  if s <> 0 then begin
+                    let gens' = Array.map Array.copy g in
+                    gens'.(i) <- Array.copy z;
+                    go (sign * s) gens'
+                  end)
+                w
+          end
+    in
+    go 1 gens;
+    List.rev !acc
+end

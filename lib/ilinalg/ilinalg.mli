@@ -41,6 +41,57 @@ module Mat : sig
   val det : t -> Zint.t
 end
 
+(** [inv_scaled a] is [Some (adj, d)] with [a · adj = d·I] and
+    [d = det a ≠ 0] (so [adj] is the adjugate up to the same scale used by
+    Cramer's rule), or [None] when [a] is singular. Raises
+    [Invalid_argument] on non-square input. *)
+val inv_scaled : Mat.t -> (Mat.t * Zint.t) option
+
+(** [lll basis] LLL-reduces the rows of [basis] (delta = 3/4) and returns
+    the reduced basis; the input rows must be linearly independent for the
+    classical guarantees, but the routine tolerates dependent rows (their
+    Gram-Schmidt norm collapses to zero and they sort to the front). The
+    input is not mutated. *)
+val lll : Zint.t array array -> Zint.t array array
+
+(** Polyhedral cones given by integer generators, one per row.
+
+    Used by the generating-function counting backend: tangent cones of
+    polytope vertices are triangulated and Barvinok-decomposed in the
+    {e dual} space, where discarding lower-dimensional cones is sound
+    (they dualize back to cones containing lines, whose rational
+    generating functions vanish identically). *)
+module Cone : sig
+  (** [primitive v] divides [v] by the gcd of its entries (a fresh
+      array; zero vectors are returned unchanged). *)
+  val primitive : Zint.t array -> Zint.t array
+
+  (** [triangulate gens] splits the pointed full-dimensional cone spanned
+      by the [m ≥ d] generator rows into simplicial subcones, each given
+      as [d] of the original generator rows. Uses a regular
+      (lifted lower-envelope) triangulation with deterministic generic
+      weights, so the output is reproducible across runs and domains.
+      When [m = d] the cone is returned as the single cell. *)
+  val triangulate : Zint.t array array -> Zint.t array array list
+
+  (** [unimodular_split gens] signed-decomposes the simplicial
+      full-dimensional cone with generator rows [gens] (a [d×d] matrix)
+      into unimodular cones: the result is a list of [(sign, gens')] with
+      [sign ∈ {-1, +1}] and [|det gens'| = 1] such that the indicator
+      functions satisfy [[cone gens] ≡ Σ sign·[cone gens']] modulo
+      lower-dimensional cones. Barvinok's recursion: each step replaces
+      one generator by a short lattice vector found by LLL-reducing the
+      scaled inverse, strictly decreasing [|det|].
+
+      [on_cone] is called once per cone visited (including interior nodes
+      of the recursion) so callers can meter work, e.g. charge governor
+      fuel. *)
+  val unimodular_split :
+    ?on_cone:(unit -> unit) ->
+    Zint.t array array ->
+    (int * Zint.t array array) list
+end
+
 (** [smith a] is [(u, d, v)] with [u * a * v = d], [u] and [v] unimodular,
     and [d] diagonal with nonnegative entries satisfying the divisibility
     chain [d.(0,0) | d.(1,1) | ...]. *)

@@ -21,7 +21,7 @@ let owner_formula dist ~t ~p =
 
 let n = A.var (V.named "n")
 
-let ownership_count dist ~proc =
+let ownership_count ?opts dist ~proc =
   let t = A.var (V.named "t") in
   let f =
     F.and_
@@ -30,9 +30,9 @@ let ownership_count dist ~proc =
         owner_formula dist ~t ~p:(A.of_int proc);
       ]
   in
-  Counting.Engine.count ~vars:[ "t" ] f
+  Counting.Engine.count ?opts ~vars:[ "t" ] f
 
-let messages dist ~shift =
+let messages ?opts dist ~shift =
   let i = A.var (V.named "i") in
   let p = A.var (V.named "p") and q = A.var (V.named "q") in
   let f =
@@ -47,4 +47,4 @@ let messages dist ~shift =
   in
   (* count (i, p, q) triples: owners are functions of i, so this counts
      the elements that must move *)
-  Counting.Engine.count ~vars:[ "i"; "p"; "q" ] f
+  Counting.Engine.count ?opts ~vars:[ "i"; "p"; "q" ] f

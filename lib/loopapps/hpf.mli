@@ -18,12 +18,16 @@ val owner_formula :
   dist -> t:Presburger.Affine.t -> p:Presburger.Affine.t -> Presburger.Formula.t
 
 (** Number of template cells of [T(0 : n−1)] owned by processor [p0],
-    symbolically in [n] ([p0] is a concrete processor number). *)
-val ownership_count : dist -> proc:int -> Counting.Value.t
+    symbolically in [n] ([p0] is a concrete processor number). [opts]
+    selects engine options (strategy, counting backend) for the
+    underlying count; defaults to {!Counting.Engine.default}. *)
+val ownership_count :
+  ?opts:Counting.Engine.options -> dist -> proc:int -> Counting.Value.t
 
 (** [messages dist ~shift]: for the communication pattern
     [a(i) = b(i + shift)] with both arrays aligned to the template,
     counts the elements [i ∈ [0, n−1−shift]] whose operand [i + shift]
     lives on a {e different} processor — the message volume the paper
     sizes buffers with. Symbolic in [n]. *)
-val messages : dist -> shift:int -> Counting.Value.t
+val messages :
+  ?opts:Counting.Engine.options -> dist -> shift:int -> Counting.Value.t

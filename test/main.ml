@@ -21,4 +21,5 @@ let () =
       Test_parallel.suite;
       Test_alloc.suite;
       Test_governor.suite;
+      Test_gfcount.suite;
     ]

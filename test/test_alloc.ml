@@ -55,9 +55,51 @@ let test_example6_minor_words () =
        small-integer fast path has regressed"
       words ceiling
 
+(* Example 4 under the generating-function backend: the clause's 6i+9j
+   stride pair dispatches to gfcount, so this cold run covers the whole
+   Barvinok path — lattice preprocessing, vertex enumeration, LLL-based
+   unimodular splitting, Todd-series specialization. Measured ~2.5M
+   minor words as of this PR (rational Gauss–Jordan and LLL dominate);
+   4M rejects an accidental order-of-magnitude regression (e.g. a
+   non-memoized inverse recomputed per vertex) with room for benign
+   evolution. *)
+let gf_ceiling = 4_000_000.
+
+let example4_formula =
+  F.exists
+    [ V.named "i"; V.named "j" ]
+    (F.and_
+       [
+         F.between (k 1) (v "i") (k 8);
+         F.between (k 1) (v "j") (k 5);
+         F.eq (v "x")
+           (A.add_const
+              (A.add (A.scale (z 6) (v "i")) (A.scale (z 9) (v "j")))
+              (z (-7)));
+       ])
+
+let test_example4_gf_minor_words () =
+  let saved_jobs = Counting.Pool.jobs () in
+  Counting.Pool.set_jobs 1;
+  Fun.protect ~finally:(fun () -> Counting.Pool.set_jobs saved_jobs)
+  @@ fun () ->
+  let opts = { E.default with backend = E.Gf } in
+  ignore (E.count ~opts ~vars:[ "x" ] example4_formula);
+  Omega.Memo.clear_all ();
+  let before = Gc.minor_words () in
+  ignore (E.count ~opts ~vars:[ "x" ] example4_formula);
+  let words = Gc.minor_words () -. before in
+  if words > gf_ceiling then
+    Alcotest.failf
+      "Example 4 gf-backend count allocated %.0f minor words (ceiling %.0f): \
+       the generating-function path has regressed"
+      words gf_ceiling
+
 let suite =
   ( "alloc",
     [
       Alcotest.test_case "example6 minor-words ceiling" `Quick
         test_example6_minor_words;
+      Alcotest.test_case "example4 gf-backend minor-words ceiling" `Quick
+        test_example4_gf_minor_words;
     ] )

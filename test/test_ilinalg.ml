@@ -225,6 +225,204 @@ let prop_solve_complete =
       let result = Ilinalg.solve (mat [| [| a; b |] |]) [| z c |] in
       Bool.equal solvable (result <> None))
 
+(* New pieces: scaled inverse, LLL, cone triangulation, Barvinok split. --- *)
+
+let qz = Qnum.of_zint
+
+(* lambda = p · G⁻¹ for the simplicial cone whose generators are the rows
+   of [g]; [None] when [g] is singular. [p] is in the closed cone iff all
+   lambdas are >= 0, and "generic" w.r.t. the cone iff none is zero. *)
+let barycentric g (p : Qnum.t array) =
+  match Ilinalg.inv_scaled (Mat.of_arrays g) with
+  | None -> None
+  | Some (adj, det) ->
+      let d = Array.length g in
+      Some
+        (Array.init d (fun j ->
+             let acc = ref Qnum.zero in
+             for i = 0 to d - 1 do
+               acc := Qnum.add !acc (Qnum.mul p.(i) (qz (Mat.get adj i j)))
+             done;
+             Qnum.div !acc (qz det)))
+
+let test_inv_scaled () =
+  let a = mat [| [| 2; 3; 1 |]; [| 1; 2; 1 |]; [| 1; 1; 2 |] |] in
+  (match Ilinalg.inv_scaled a with
+  | None -> Alcotest.fail "nonsingular matrix reported singular"
+  | Some (adj, d) ->
+      Alcotest.(check int) "det" 2 (Zint.to_int_exn d);
+      let prod = Mat.mul a adj in
+      for i = 0 to 2 do
+        for j = 0 to 2 do
+          let expect = if i = j then 2 else 0 in
+          Alcotest.(check int) "a*adj = det*I" expect
+            (Zint.to_int_exn (Mat.get prod i j))
+        done
+      done);
+  match Ilinalg.inv_scaled (mat [| [| 1; 2 |]; [| 2; 4 |] |]) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "singular matrix inverted"
+
+let square_gen d lo hi =
+  QCheck.map
+    (fun seed ->
+      let st = Random.State.make [| 0x11a16; seed; d |] in
+      Array.init d (fun _ ->
+          Array.init d (fun _ -> z (lo + Random.State.int st (hi - lo + 1)))))
+    QCheck.small_nat
+
+let prop_inv_scaled =
+  QCheck.Test.make ~name:"inv_scaled: a*adj = det*I" ~count:200
+    (square_gen 3 (-6) 6) (fun rows ->
+      let a = Mat.of_arrays rows in
+      let det = Mat.det a in
+      match Ilinalg.inv_scaled a with
+      | None -> Zint.is_zero det
+      | Some (adj, d) ->
+          Zint.equal d det
+          && (not (Zint.is_zero det))
+          &&
+          let prod = Mat.mul a adj in
+          let ok = ref true in
+          for i = 0 to 2 do
+            for j = 0 to 2 do
+              let expect = if i = j then det else Zint.zero in
+              if not (Zint.equal (Mat.get prod i j) expect) then ok := false
+            done
+          done;
+          !ok)
+
+(* Same lattice both directions + determinant preserved up to sign. *)
+let prop_lll =
+  QCheck.Test.make ~name:"lll: preserves lattice and |det|" ~count:100
+    (square_gen 3 (-9) 9) (fun rows ->
+      let a = Mat.of_arrays rows in
+      if Zint.is_zero (Mat.det a) then true
+      else begin
+        let red = Ilinalg.lll rows in
+        let in_lattice basis v =
+          Ilinalg.solve (Mat.transpose (Mat.of_arrays basis)) v <> None
+        in
+        Zint.equal
+          (Zint.abs (Mat.det (Mat.of_arrays red)))
+          (Zint.abs (Mat.det a))
+        && Array.for_all (in_lattice rows) red
+        && Array.for_all (in_lattice red) rows
+      end)
+
+(* Triangulation: sample generic points inside the cone as positive
+   combinations of the generators; each must lie strictly inside exactly
+   one cell. *)
+let prop_triangulate =
+  QCheck.Test.make ~name:"triangulate: generic interior points in one cell"
+    ~count:60
+    (QCheck.pair (QCheck.int_range 2 3) QCheck.small_nat)
+    (fun (d, seed) ->
+      let st = Random.State.make [| 0x7a1a; seed; d |] in
+      let m = d + 1 + Random.State.int st 2 in
+      (* positive first coordinate => pointed cone *)
+      let gens =
+        Array.init m (fun _ ->
+            Array.init d (fun j ->
+                if j = 0 then z (1 + Random.State.int st 4)
+                else z (Random.State.int st 9 - 4)))
+      in
+      if Ilinalg.rank (Mat.of_arrays gens) < d then true
+      else begin
+        let cells = Ilinalg.Cone.triangulate gens in
+        List.for_all
+          (fun cell -> not (Zint.is_zero (Mat.det (Mat.of_arrays cell))))
+          cells
+        &&
+        let trials = ref 0 and checked = ref 0 and ok = ref true in
+        while !checked < 10 && !trials < 100 do
+          incr trials;
+          (* p = sum of strictly positive rational multiples of generators *)
+          let p = Array.make d Qnum.zero in
+          Array.iter
+            (fun g ->
+              let c =
+                Qnum.of_ints
+                  (1 + Random.State.int st 20)
+                  (1 + Random.State.int st 7)
+              in
+              Array.iteri
+                (fun j gj -> p.(j) <- Qnum.add p.(j) (Qnum.mul c (qz gj)))
+                g)
+            gens;
+          let degenerate = ref false in
+          let inside = ref 0 in
+          List.iter
+            (fun cell ->
+              match barycentric cell p with
+              | None -> ()
+              | Some lam ->
+                  if Array.exists Qnum.is_zero lam then degenerate := true
+                  else if Array.for_all (fun l -> Qnum.sign l > 0) lam then
+                    incr inside)
+            cells;
+          if not !degenerate then begin
+            incr checked;
+            if !inside <> 1 then ok := false
+          end
+        done;
+        !ok
+      end)
+
+(* Barvinok split: every output cone unimodular, and for generic points
+   the signed memberships sum to the original membership. *)
+let prop_unimodular_split =
+  QCheck.Test.make ~name:"unimodular_split: |det|=1, signed sum = indicator"
+    ~count:60
+    (QCheck.pair (QCheck.int_range 2 3) QCheck.small_nat)
+    (fun (d, seed) ->
+      let st = Random.State.make [| 0xba121; seed; d |] in
+      let gens =
+        Array.init d (fun _ ->
+            Array.init d (fun _ -> z (Random.State.int st 11 - 5)))
+      in
+      if Zint.is_zero (Mat.det (Mat.of_arrays gens)) then true
+      else begin
+        let pieces = Ilinalg.Cone.unimodular_split gens in
+        List.for_all
+          (fun (s, g) ->
+            (s = 1 || s = -1)
+            && Zint.is_one (Zint.abs (Mat.det (Mat.of_arrays g))))
+          pieces
+        &&
+        let trials = ref 0 and checked = ref 0 and ok = ref true in
+        while !checked < 12 && !trials < 200 do
+          incr trials;
+          let p =
+            Array.init d (fun _ ->
+                Qnum.of_ints (Random.State.int st 41 - 20) 7)
+          in
+          let degenerate = ref false in
+          let membership g =
+            match barycentric g p with
+            | None -> 0
+            | Some lam ->
+                if Array.exists Qnum.is_zero lam then begin
+                  degenerate := true;
+                  0
+                end
+                else if Array.for_all (fun l -> Qnum.sign l > 0) lam then 1
+                else 0
+          in
+          let want = membership gens in
+          let got =
+            List.fold_left
+              (fun acc (s, g) -> acc + (s * membership g))
+              0 pieces
+          in
+          if not !degenerate then begin
+            incr checked;
+            if got <> want then ok := false
+          end
+        done;
+        !ok
+      end)
+
 let suite =
   ( "ilinalg",
     [
@@ -236,8 +434,13 @@ let suite =
       Alcotest.test_case "rank" `Quick test_rank;
       Alcotest.test_case "solve diophantine" `Quick test_solve;
       Alcotest.test_case "kernel" `Quick test_kernel;
+      Alcotest.test_case "inv_scaled" `Quick test_inv_scaled;
       QCheck_alcotest.to_alcotest prop_smith;
       QCheck_alcotest.to_alcotest prop_hermite;
       QCheck_alcotest.to_alcotest prop_solve;
       QCheck_alcotest.to_alcotest prop_solve_complete;
+      QCheck_alcotest.to_alcotest prop_inv_scaled;
+      QCheck_alcotest.to_alcotest prop_lll;
+      QCheck_alcotest.to_alcotest prop_triangulate;
+      QCheck_alcotest.to_alcotest prop_unimodular_split;
     ] )
