@@ -461,6 +461,46 @@ let check_results () : (string * string * string) list =
         (List.map (fun kk -> string_of_int (snd (a3 kk))) [ 2; 3; 4; 5 ]) );
   ]
 
+(* Every committed BENCH_*.json must open with a [_meta] line recording
+   at least the machine's [cores_available] and the [jobs] setting the
+   figures were taken at — without them a wall-clock line cannot be
+   interpreted. `--check` fails on a bench file missing them. *)
+let string_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_bench_meta () =
+  let files =
+    Sys.readdir "." |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort String.compare
+  in
+  let ok_file f =
+    let ic = open_in f in
+    let first = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    let ok =
+      string_contains first "\"_meta\""
+      && string_contains first "\"cores_available\""
+      && string_contains first "\"jobs\""
+    in
+    if not ok then
+      Printf.printf
+        "  BAD META %s: first line must be a _meta object with \
+         cores_available and jobs\n"
+        f;
+    ok
+  in
+  let bad = List.filter (fun f -> not (ok_file f)) files in
+  Printf.printf "Bench meta check: %d/%d BENCH_*.json files carry full _meta\n"
+    (List.length files - List.length bad)
+    (List.length files);
+  bad = []
+
 let run_checks () =
   let rows = check_results () in
   let failures =
@@ -474,7 +514,8 @@ let run_checks () =
       Printf.printf "  MISMATCH %-28s expected %s, measured %s\n" label
         expected actual)
     failures;
-  failures = []
+  let meta_ok = check_bench_meta () in
+  failures = [] && meta_ok
 
 (* ------------------------------------------------------------------ *)
 (* Micro-suite: the arithmetic substrate in isolation. Values are kept
@@ -801,6 +842,100 @@ let backend_report emit =
       | _ -> assert false)
     backend_experiments
 
+(* ------------------------------------------------------------------ *)
+(* Planner comparison (Engine.plan): the seeded static heuristics vs the
+   cost-model-driven adaptive planner with the bounded feasibility
+   pre-filter armed. Three workloads:
+   - S33 (HPF ownership): the splinter-heavy tail — disjoint elimination
+     expands ~462k pin candidates of which 4 survive; the pre-filter's
+     interval clamp collapses the pin loop, the tentpole win.
+   - E4 (FST91 distinct locations): quantifier elimination dominated,
+     records that adaptive planning never regresses a workload it cannot
+     help much.
+   - D1 (dense simplex, differential seed 472): quantifier-free with
+     large coefficients; the planner routes the clause to the gf backend
+     (as backend=auto would) even under the default backend=pugh.
+   Byte-identity static vs adaptive is asserted before timing; the
+   adaptive run's planner counters (probes, refutations, pruned work)
+   ride along in each JSON line. *)
+
+let planner_experiments =
+  [
+    ( "planner_compare_S33",
+      3,
+      fun plan ->
+        Loopapps.Hpf.ownership_count
+          ~opts:{ E.default with plan }
+          { Loopapps.Hpf.procs = 8; block = 4 }
+          ~proc:0 );
+    ( "planner_compare_E4",
+      3,
+      fun plan ->
+        E.count ~opts:{ E.default with plan } ~vars:[ "x" ] example4_formula );
+    ( "planner_compare_D1_dense",
+      1,
+      fun plan ->
+        E.count
+          ~opts:{ E.default with plan }
+          ~vars:[ "x"; "y"; "z" ] dense_simplex_formula );
+  ]
+
+(* Planner counter deltas recorded in each planner_compare line, with the
+   metric-registry prefix stripped for flat JSON field names. *)
+let planner_counter_keys =
+  [
+    ("planner.probes", "probes");
+    ("planner.probe_refuted", "probe_refuted");
+    ("planner.pruned_pins", "pruned_pins");
+    ("planner.pruned_branches", "pruned_branches");
+    ("planner.pruned_subtrees", "pruned_subtrees");
+    ("planner.adaptive_clauses", "adaptive_clauses");
+    ("planner.gf_routed", "gf_routed");
+  ]
+
+let planner_report emit =
+  Printf.printf
+    "Planner comparison (static vs adaptive, cold caches, interleaved \
+     best-of-k, jobs pinned 1):\n";
+  let saved = Counting.Pool.jobs () in
+  Counting.Pool.set_jobs 1;
+  Fun.protect ~finally:(fun () -> Counting.Pool.set_jobs saved) @@ fun () ->
+  List.iter
+    (fun (label, reps, f) ->
+      (* byte-identity first: the values the timed runs recompute *)
+      Omega.Memo.clear_all ();
+      let static_v = Counting.Value.to_string (f E.Static) in
+      Omega.Memo.clear_all ();
+      let before = Obs.Metrics.snapshot () in
+      let adaptive_v = Counting.Value.to_string (f E.Adaptive) in
+      let deltas = Obs.Metrics.diff (Obs.Metrics.snapshot ()) before in
+      if not (String.equal static_v adaptive_v) then
+        failwith
+          (Printf.sprintf "%s: adaptive output differs from static" label);
+      let counters =
+        String.concat ""
+          (List.filter_map
+             (fun (key, field) ->
+               match List.assoc_opt key deltas with
+               | Some (Obs.Metrics.Count n) ->
+                   Some (Printf.sprintf ",\"%s\":%d" field n)
+               | _ -> None)
+             planner_counter_keys)
+      in
+      match
+        time_interleaved ~reps
+          [ (fun () -> ignore (f E.Static)); (fun () -> ignore (f E.Adaptive)) ]
+      with
+      | [ static_s; adaptive_s ] ->
+          emit
+            (Printf.sprintf
+               "{\"label\":\"%s\",\"static_s\":%.6f,\"adaptive_s\":%.6f,\"adaptive_speedup\":%.2f,\"identical\":true%s}"
+               label static_s adaptive_s
+               (static_s /. adaptive_s)
+               counters)
+      | _ -> assert false)
+    planner_experiments
+
 (* Governor overhead on the two heaviest paper experiments. The budget
    checkpoints are always compiled in, so the baseline (plain
    [Engine.count], no control block — every check is one atomic load)
@@ -970,6 +1105,22 @@ let () =
         output_char oc '\n'
     | None -> ()
   in
+  (* Every emitted stream opens with a uniform _meta line so downstream
+     JSON (including committed BENCH_*.json assembled from these runs)
+     always records the machine and jobs context — what `--check`'s
+     bench-meta gate enforces. *)
+  emit
+    (Printf.sprintf
+       "{\"label\":\"_meta\",\"generator\":\"bench/main.exe\",\"cores_available\":%d,\"jobs\":%d}"
+       (Domain.recommended_domain_count ())
+       (Counting.Pool.jobs ()));
+  if List.mem "planner_report" argv then begin
+    (* `bench planner_report`: just the static-vs-adaptive comparison
+       lines (the BENCH_7.json generator). *)
+    planner_report emit;
+    Option.iter close_out json_oc;
+    exit 0
+  end;
   report ();
   (* Trace only the instrumented runs: tracing the Bechamel timing loops
      below would perturb the very numbers they measure. *)
@@ -977,6 +1128,7 @@ let () =
   instr_report emit;
   par_report emit;
   backend_report emit;
+  planner_report emit;
   governor_report emit;
   Option.iter
     (fun f ->

@@ -100,11 +100,71 @@ let json_partial bindings (p : Counting.Governor.partial) =
   Buffer.add_string b "}}";
   print_endline (Buffer.contents b)
 
-let run query bindings strategy backend merge stats ~budget ~json =
+(* --explain-plan: the planner's per-clause dump (predicted fan-out,
+   backend routing, elimination order) before the run, and the observed
+   planner/engine counters after it — predicted vs actual. Stderr, so
+   stdout stays the bare answer. *)
+let explain_keys =
+  [
+    "planner.probes";
+    "planner.probe_refuted";
+    "planner.probe_witness";
+    "planner.probe_unknown";
+    "planner.pruned_pins";
+    "planner.pruned_branches";
+    "planner.pruned_subtrees";
+    "planner.adaptive_clauses";
+    "planner.gf_routed";
+    "engine.gf_clauses";
+    "engine.gf_fallback";
+    "engine.splinter_fanout";
+  ]
+
+let print_explain_plan opts (q : Preslang.query) cls =
+  (* Render the dump under the run's arming so the prefilter= field
+     reports what the computation will actually do. *)
+  Omega.Prefilter.with_armed
+    (opts.Counting.Engine.plan = Counting.Engine.Adaptive)
+    (fun () ->
+      Printf.eprintf "%s"
+        (Counting.Planner.explain
+           ~exact:(opts.Counting.Engine.strategy = Counting.Engine.Exact)
+           ~const_poly:(Option.is_some (Qpoly.to_const q.Preslang.summand))
+           ~vars:(List.map Presburger.Var.named q.Preslang.vars)
+           cls))
+
+let print_explain_observed before =
+  let after = Obs.Metrics.snapshot () in
+  let d = Obs.Metrics.diff after before in
+  Printf.eprintf "observed:\n";
+  List.iter
+    (fun key ->
+      match List.assoc_opt key d with
+      | Some (Obs.Metrics.Count n) when n > 0 ->
+          Printf.eprintf "  %s=%d\n" key n
+      | Some (Obs.Metrics.Hist { count; sum; _ }) when count > 0 ->
+          Printf.eprintf "  %s: count=%d sum=%d\n" key count sum
+      | _ -> ())
+    explain_keys
+
+let run query bindings strategy backend plan explain_plan merge stats ~budget
+    ~json =
   let q = Preslang.parse_query query in
-  let opts = { Counting.Engine.default with strategy; backend } in
+  let opts = { Counting.Engine.default with strategy; backend; plan } in
   let governed = json || not (Counting.Governor.is_unlimited budget) in
   let merged v = if merge then Counting.Merge.merge_residues v else v in
+  let explain_before =
+    if explain_plan then begin
+      (* One extra DNF pass to show the plan up front; the clauses are
+         recomputed by the run itself (the solver memo absorbs most of
+         the duplicate work). *)
+      let cls = Counting.Engine.to_clauses ~opts q.Preslang.formula in
+      print_explain_plan opts q cls;
+      Some (Obs.Metrics.snapshot ())
+    end
+    else None
+  in
+  let finish_explain () = Option.iter print_explain_observed explain_before in
   if not governed then begin
     (* The ungoverned path is exactly the pre-governor pipeline, so
        default invocations stay byte-identical. *)
@@ -126,6 +186,7 @@ let run query bindings strategy backend merge stats ~budget ~json =
     in
     Printf.printf "%s\n" (Counting.Value.to_string value);
     print_eval_at bindings value;
+    finish_explain ();
     print_report report
   end
   else begin
@@ -152,6 +213,7 @@ let run query bindings strategy backend merge stats ~budget ~json =
           Printf.printf "%s\n" (Counting.Value.to_string value);
           print_eval_at bindings value
         end;
+        finish_explain ();
         print_report report
     | Counting.Governor.Partial p ->
         let p =
@@ -175,6 +237,7 @@ let run query bindings strategy backend merge stats ~budget ~json =
             | Some u -> Counting.Value.to_string u
             | None -> "unknown")
         end;
+        finish_explain ();
         print_report report;
         exit 3
   end
@@ -243,6 +306,8 @@ let () =
   let bindings = ref [] in
   let strategy = ref Counting.Engine.Exact in
   let backend = ref Counting.Engine.Pugh in
+  let plan = ref Counting.Engine.Static in
+  let explain_plan = ref false in
   let merge = ref true in
   let simplify = ref false in
   let stats = ref false in
@@ -285,6 +350,23 @@ let () =
         "  per-clause counting backend: the splintering engine (pugh, \
          default), the generating-function backend (gf), or a per-clause \
          fan-out heuristic (auto); answers are byte-identical" );
+      ( "--plan",
+        Arg.Symbol
+          ([ "static"; "adaptive" ],
+           fun s ->
+             plan :=
+               (match s with
+               | "adaptive" -> Counting.Engine.Adaptive
+               | _ -> Counting.Engine.Static)),
+        "  planning mode: the seeded heuristics (static, default) or \
+         cost-model-driven planning with the bounded feasibility \
+         pre-filter armed (adaptive); answers are byte-identical and \
+         plans are deterministic at every --jobs" );
+      ( "--explain-plan",
+        Arg.Set explain_plan,
+        "  print the planner's per-clause decisions (predicted fan-out, \
+         backend, elimination order) before the run and the observed \
+         planner counters after it, to stderr" );
       ("--no-merge", Arg.Clear merge, "  do not merge residue classes");
       ( "--jobs",
         Arg.Int Counting.Pool.set_jobs,
@@ -358,7 +440,8 @@ let () =
       try
         if !simplify then simplify_formula q !stats
         else
-          run q !bindings !strategy !backend !merge !stats ~budget ~json:!json
+          run q !bindings !strategy !backend !plan !explain_plan !merge !stats
+            ~budget ~json:!json
       with
       | Preslang.Parse_error (pos, msg) ->
           report_parse_error q pos msg;

@@ -5,10 +5,12 @@ module C = Omega.Clause
 
 type strategy = Exact | Upper | Lower | Symbolic
 type backend = Pugh | Gf | Auto
+type plan = Static | Adaptive
 
 type options = {
   strategy : strategy;
   backend : backend;
+  plan : plan;
   flexible_order : bool;
   eliminate_redundant : bool;
   guard_empty : bool;
@@ -19,6 +21,7 @@ let default =
   {
     strategy = Exact;
     backend = Pugh;
+    plan = Static;
     flexible_order = true;
     eliminate_redundant = true;
     guard_empty = true;
@@ -42,11 +45,13 @@ let strategy_name = function
   | Symbolic -> "symbolic"
 
 let backend_name = function Pugh -> "pugh" | Gf -> "gf" | Auto -> "auto"
+let plan_name = function Static -> "static" | Adaptive -> "adaptive"
 
 let opts_fields o =
   [
     ("strategy", strategy_name o.strategy);
     ("backend", backend_name o.backend);
+    ("plan", plan_name o.plan);
     ("flexible_order", string_of_bool o.flexible_order);
     ("eliminate_redundant", string_of_bool o.eliminate_redundant);
     ("guard_empty", string_of_bool o.guard_empty);
@@ -194,7 +199,29 @@ let fork_branches stats fuel n case =
   end
   else Merge.combine (List.init n (fun t -> case t stats))
 
-let rec go opts stats vars poly (clause : C.t) fuel : Value.t =
+let m_pruned_subtrees = Obs.Metrics.counter "planner.pruned_subtrees"
+
+(* With the pre-filter armed, a probe-refuted clause can be dropped
+   before any further reduction — but only when the leaf guards exactly
+   characterize the contribution region ([Exact] strategy with
+   [guard_empty]): an infeasible clause then only ever renders pieces
+   with infeasible guards, all of which [Value.simplify] drops, so the
+   pruned run is byte-identical. Under [Symbolic]/[Upper]/[Lower] (or
+   without emptiness guards) guards are real-shadow approximations and a
+   pruned branch could still have emitted a feasible-guard piece, so we
+   never prune there. The probe runs before [Gist.remove_redundant]'s
+   exact feasibility work — a cheap interval certificate short-circuits
+   the expensive solver on dead branches (bound-split cases and residue
+   splinters whose guards and strides are incompatible). *)
+let prune_refuted opts (clause : C.t) =
+  opts.strategy = Exact && opts.guard_empty
+  && Omega.Prefilter.armed ()
+  && Omega.Prefilter.probe clause = Omega.Prefilter.Refuted
+
+(* [ord] is the planner's adaptive-order flag for this clause's subtree:
+   set only inside the collapse-safe zone (see [Planner.plan_clause]),
+   where every elimination-order choice is rendering-invariant. *)
+let rec go opts ord stats vars poly (clause : C.t) fuel : Value.t =
   (* One budget unit per engine reduction step; with the per-elimination
      charges in [Solve] this makes every loop of the counting recursion
      fuel-accounted and deadline-polled. *)
@@ -207,6 +234,9 @@ let rec go opts stats vars poly (clause : C.t) fuel : Value.t =
   else
     match C.normalize clause with
     | None -> []
+    | Some clause when prune_refuted opts clause ->
+        Obs.Metrics.incr m_pruned_subtrees;
+        []
     | Some clause -> begin
         match find_eq_sumvar vars clause with
         | Some (e, v, _) ->
@@ -217,7 +247,7 @@ let rec go opts stats vars poly (clause : C.t) fuel : Value.t =
               Omega.Solve.eliminate_via_eq v
                 { clause with wilds = V.Set.add v clause.wilds }
             in
-            go opts stats (remove_var vars v) poly' clause' (fuel + 1)
+            go opts ord stats (remove_var vars v) poly' clause' (fuel + 1)
         | None -> begin
             match find_stride_sumvar vars clause with
             | Some (m, e, _v) ->
@@ -235,12 +265,12 @@ let rec go opts stats vars poly (clause : C.t) fuel : Value.t =
                 let clause' =
                   { clause with strides = strides'; eqs = eq :: clause.eqs }
                 in
-                go opts stats (w :: vars) poly clause' (fuel + 1)
-            | None -> convex opts stats vars poly clause fuel
+                go opts ord stats (w :: vars) poly clause' (fuel + 1)
+            | None -> convex opts ord stats vars poly clause fuel
           end
       end
 
-and convex opts stats vars poly clause fuel : Value.t =
+and convex opts ord stats vars poly clause fuel : Value.t =
   let clause =
     if opts.eliminate_redundant then
       match Omega.Gist.remove_redundant clause with
@@ -260,6 +290,12 @@ and convex opts stats vars poly clause fuel : Value.t =
          (last) variable, as in Tawbi's algorithm. *)
       let v =
         if not opts.flexible_order then List.nth vars (List.length vars - 1)
+        else if ord then
+          (* Planner cost model: breaks the static score's bound-pair
+             ties toward the cheaper predicted splinter. Pure in the
+             clause, so identical at every jobs level; only reached in
+             the collapse-safe zone where order is rendering-invariant. *)
+          Planner.pick_var clause vars
         else begin
           let score v =
             let lowers, uppers, _ = bounds v clause.geqs in
@@ -305,7 +341,7 @@ and convex opts stats vars poly clause fuel : Value.t =
               end
             done;
             let clause' = rebuild arr.(t) !guards in
-            go opts st vars poly clause' (fuel + 1))
+            go opts ord st vars poly clause' (fuel + 1))
       in
       if List.length uppers > 1 then
         split_cases uppers (fun u guards ->
@@ -343,23 +379,25 @@ and convex opts stats vars poly clause fuel : Value.t =
                   @ !guards @ rest;
               }
             in
-            go opts st vars poly clause' (fuel + 1))
+            go opts ord st vars poly clause' (fuel + 1))
       end
       else begin
         let [@warning "-8"] [ (b, beta) ] = lowers
         and [@warning "-8"] [ (a, alpha) ] = uppers in
-        single_pair opts stats vars poly clause fuel v ~rest (b, beta)
+        single_pair opts ord stats vars poly clause fuel v ~rest (b, beta)
           (a, alpha)
       end
     end
 
 (* Sum over v with a single lower bound β ≤ b·v and upper a·v ≤ α. *)
-and single_pair opts stats vars poly clause fuel v ~rest (b, beta) (a, alpha)
-    : Value.t =
+and single_pair opts ord stats vars poly clause fuel v ~rest (b, beta)
+    (a, alpha) : Value.t =
   let vname = V.to_string v in
   let vars' = remove_var vars v in
   let base_clause = { clause with geqs = rest } in
-  let recurse inner clause' = go opts stats vars' inner clause' (fuel + 1) in
+  let recurse inner clause' =
+    go opts ord stats vars' inner clause' (fuel + 1)
+  in
   let unit_case () =
     (* a = b = 1: exact closed form, guard β ≤ α. *)
     let inner =
@@ -491,7 +529,7 @@ and single_pair opts stats vars poly clause fuel v ~rest (b, beta) (a, alpha)
                     strides = strides @ base_clause.strides;
                   }
                 in
-                go opts st vars' inner clause' (fuel + 1)
+                go opts ord st vars' inner clause' (fuel + 1)
             end)
   end
 
@@ -535,9 +573,35 @@ let try_gf opts vs c =
   | Gf -> true
   | Auto -> Gfcount.estimate_fanout vs c >= auto_fanout_threshold
 
+(* The per-clause plan. [Static] keeps the seeded dispatch exactly;
+   [Adaptive] consults [Planner.plan_clause] — a pure function of the
+   clause — for backend routing (gf even under [backend = Pugh] when the
+   predicted splinter fan-out warrants it) and the adaptive elimination
+   order, both restricted to the collapse-safe zone so output stays
+   byte-identical. *)
+let clause_plan opts vs poly c =
+  match opts.plan with
+  | Static -> None
+  | Adaptive ->
+      Some
+        (Planner.plan_clause
+           ~exact:(opts.strategy = Exact)
+           ~const_poly:(Option.is_some (Qpoly.to_const poly))
+           ~vars:vs c)
+
 let run_clause opts stats vs poly c =
-  let fallback () = go opts stats vs poly c 0 in
-  if try_gf opts vs c then
+  let d = clause_plan opts vs poly c in
+  let ord =
+    match d with Some d -> d.Planner.adaptive_order | None -> false
+  in
+  if ord then Planner.note_adaptive ();
+  let fallback () = go opts ord stats vs poly c 0 in
+  let static_gf = try_gf opts vs c in
+  let planner_gf =
+    match d with Some d -> d.Planner.use_gf | None -> false
+  in
+  if planner_gf && not static_gf then Planner.note_gf_routed ();
+  if static_gf || planner_gf then
     match Qpoly.to_const poly with
     | Some k -> begin
         match Gfcount.count_clause ~vars:vs c with
@@ -575,6 +639,11 @@ let clause_task opts vs poly i c st =
       Obs.Trace.add_attr "pieces" (Obs.Trace.Int (List.length r));
       r)
 
+(* [Adaptive] arms the feasibility pre-filter for the duration of the
+   call (the flag is a process-global atomic, so pool worker tasks —
+   joined before the wrap exits — observe it too). *)
+let with_plan opts f = Omega.Prefilter.with_armed (opts.plan = Adaptive) f
+
 let sum_clauses ?(opts = default) ?stats ~vars cls poly =
   let stats = resolve_stats stats in
   let vs = List.map V.named vars in
@@ -582,28 +651,40 @@ let sum_clauses ?(opts = default) ?stats ~vars cls poly =
   Obs.Metrics.observe m_dnf_clauses (List.length cls);
   let pieces =
     Instr.time_phase "sum" (fun () ->
-        if Pool.parallel_enabled () && List.length cls > 1 then begin
-          (* Clause-level fan-out: one pool task per disjunct, private
-             stats records, results concatenated in original clause
-             order — the deterministic merge. *)
-          let results =
-            Pool.map_list
-              (fun (i, c) ->
+        with_plan opts (fun () ->
+            if Pool.parallel_enabled () && List.length cls > 1 then begin
+              (* Clause-level fan-out: one pool task per disjunct, private
+                 stats records, results concatenated in original clause
+                 order — the deterministic merge. Under [Adaptive] the
+                 planner's per-clause weight picks a heavy-first spawn
+                 order (results still joined in input order). *)
+              let task (i, c) =
                 let st = new_stats () in
                 let r = clause_task opts vs poly i c st in
-                (r, st))
-              (List.mapi (fun i c -> (i, c)) cls)
-          in
-          List.iter (fun (_, st) -> absorb_stats stats st) results;
-          Merge.combine (List.map fst results)
-        end
-        else if Obs.Trace.enabled () then
-          Merge.combine
-            (List.mapi (fun i c -> clause_task opts vs poly i c stats) cls)
-        else
-          (* The untraced serial path stays a plain concat_map so
-             disabled tracing allocates nothing extra. *)
-          List.concat_map (fun c -> run_clause opts stats vs poly c) cls)
+                (r, st)
+              in
+              let indexed = List.mapi (fun i c -> (i, c)) cls in
+              let results =
+                match opts.plan with
+                | Static -> Pool.map_list task indexed
+                | Adaptive ->
+                    Pool.map_list_weighted
+                      ~weight:(fun (_, c) ->
+                        match clause_plan opts vs poly c with
+                        | Some d -> d.Planner.weight
+                        | None -> 0)
+                      task indexed
+              in
+              List.iter (fun (_, st) -> absorb_stats stats st) results;
+              Merge.combine (List.map fst results)
+            end
+            else if Obs.Trace.enabled () then
+              Merge.combine
+                (List.mapi (fun i c -> clause_task opts vs poly i c stats) cls)
+            else
+              (* The untraced serial path stays a plain concat_map so
+                 disabled tracing allocates nothing extra. *)
+              List.concat_map (fun c -> run_clause opts stats vs poly c) cls))
   in
   Instr.time_phase "simplify" (fun () -> Value.simplify pieces)
 
@@ -617,23 +698,26 @@ let sum_clauses_governed ?(opts = default) ?stats ~vars cls poly =
          budget exhaustion: the per-clause results come back in input
          order as [Ok pieces] / [Error reason], so a caller can assemble
          a partial answer from whatever completed. Non-budget exceptions
-         (a genuine bug, [Unbounded], …) still propagate. *)
-      let results =
-        Pool.map_list_results
-          (fun (i, c) ->
-            let st = new_stats () in
-            let r = clause_task opts vs poly i c st in
-            (r, st))
-          (List.mapi (fun i c -> (i, c)) cls)
-      in
-      List.map
-        (function
-          | Ok (r, st) ->
-              absorb_stats stats st;
-              Ok r
-          | Error (Obs.Budget.Exhausted reason, _) -> Error reason
-          | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
-        results)
+         (a genuine bug, [Unbounded], …) still propagate. Probes charge
+         the ambient budget like any solver step, so an armed governed
+         run meters pre-filter work against the same fuel. *)
+      with_plan opts (fun () ->
+          let results =
+            Pool.map_list_results
+              (fun (i, c) ->
+                let st = new_stats () in
+                let r = clause_task opts vs poly i c st in
+                (r, st))
+              (List.mapi (fun i c -> (i, c)) cls)
+          in
+          List.map
+            (function
+              | Ok (r, st) ->
+                  absorb_stats stats st;
+                  Ok r
+              | Error (Obs.Budget.Exhausted reason, _) -> Error reason
+              | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+            results))
 
 let to_clauses ?(opts = default) f =
   (* Section 4.6: when only bounds are wanted, the Omega test may
@@ -642,16 +726,21 @@ let to_clauses ?(opts = default) f =
      splintering. Disjointness is still enforced so no overlap inflates
      a lower bound. *)
   Instr.time_phase "dnf" (fun () ->
-      match opts.strategy with
-      | Upper ->
-          Omega.Disjoint.to_disjoint
-            (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_real f)
-      | Lower ->
-          Omega.Disjoint.to_disjoint
-            (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_dark f)
-      | Exact | Symbolic ->
-          if opts.disjoint then Omega.Disjoint.of_formula f
-          else Omega.Dnf.of_formula f)
+      (* Armed under [Adaptive]: this is where quantified-variable
+         projection pays splinter-pin loops ([Solve.eliminate]), the
+         pre-filter's main target. [Dnf] disarms negated subtrees
+         itself. *)
+      with_plan opts (fun () ->
+          match opts.strategy with
+          | Upper ->
+              Omega.Disjoint.to_disjoint
+                (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_real f)
+          | Lower ->
+              Omega.Disjoint.to_disjoint
+                (Omega.Dnf.of_formula ~mode:Omega.Solve.Approx_dark f)
+          | Exact | Symbolic ->
+              if opts.disjoint then Omega.Disjoint.of_formula f
+              else Omega.Dnf.of_formula f))
 
 let sum ?(opts = default) ?stats ~vars f poly =
   let cls = to_clauses ~opts f in

@@ -55,9 +55,26 @@ type backend =
           (fan-out ≥ 2), Pugh otherwise. The estimate depends only on the
           clause, so choices are identical at every [--jobs] level. *)
 
+(** Planning mode. *)
+type plan =
+  | Static  (** the fixed heuristics above, exactly as seeded (default) *)
+  | Adaptive
+      (** cost-model-driven planning ({!Planner}): per-clause backend
+          routing and elimination-order choice from static clause
+          features, heavy-clause-first pool scheduling, and the bounded
+          feasibility pre-filter ({!Omega.Prefilter}) armed for the whole
+          computation — clamping splinter-pin loops and pruning
+          provably-infeasible branches in {!Omega.Solve} and in the
+          engine recursion. Answers are byte-identical to [Static]
+          (adaptive choices are restricted to provably
+          rendering-invariant actions; see {!Planner}), and plans are
+          pure functions of each clause, hence identical at every
+          [--jobs] level. *)
+
 type options = {
   strategy : strategy;
   backend : backend;
+  plan : plan;
   flexible_order : bool;
       (** [false] forces the fixed (innermost-first) elimination order of
           Tawbi's algorithm — the ablation of Example 1. *)
@@ -80,6 +97,9 @@ val strategy_name : strategy -> string
 
 (** Stable lowercase name of a backend ([pugh] / [gf] / [auto]). *)
 val backend_name : backend -> string
+
+(** Stable lowercase name of a plan ([static] / [adaptive]). *)
+val plan_name : plan -> string
 
 (** Options as labelled string fields ([strategy], [flexible_order], …),
     the [options] block of the self-describing JSON reports. *)

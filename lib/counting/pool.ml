@@ -337,3 +337,35 @@ let map_list f xs =
           | Ok v -> v
           | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
         results
+
+let map_list_weighted ~weight f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when not (parallel_enabled ()) -> List.map f xs
+  | _ ->
+      (* Longest-task-first spawn order (a classic makespan heuristic):
+         heavy items hit the queues first so a straggler does not start
+         last. Only the {e submission} order changes — futures are
+         re-sorted to input order before joining, so results, and the
+         choice of which failure is re-raised, are exactly those of
+         [map_list]. *)
+      let items = List.mapi (fun i x -> (i, weight x, x)) xs in
+      let by_weight =
+        List.stable_sort
+          (fun (i1, w1, _) (i2, w2, _) ->
+            if w1 <> w2 then compare w2 w1 else compare i1 i2)
+          items
+      in
+      let futs =
+        List.map (fun (i, _, x) -> (i, spawn (fun () -> f x))) by_weight
+      in
+      let in_order =
+        List.stable_sort (fun (i1, _) (i2, _) -> compare i1 i2) futs
+      in
+      let results = join_all (List.map snd in_order) in
+      List.map
+        (function
+          | Ok v -> v
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        results

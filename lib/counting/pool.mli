@@ -65,6 +65,17 @@ val map_list : ('a -> 'b) -> 'a list -> 'b list
 val map_list_results :
   ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
 
+(** [map_list_weighted ~weight f xs] is {!map_list} with a
+    longest-task-first submission order: items are {e spawned} in
+    decreasing [weight] (ties broken by input position) so predicted-
+    heavy work starts before light work, while results are returned —
+    and the first failure re-raised — in {e input} order. Since only
+    spawn order changes and [f] must be order-insensitive anyway under
+    a work-stealing pool, determinism is exactly that of {!map_list}.
+    Used by the adaptive planner to schedule splinter-heavy clauses
+    first. *)
+val map_list_weighted : weight:('a -> int) -> ('a -> 'b) -> 'a list -> 'b list
+
 (** {b Cancellation.} Every pool task polls
     [Obs.Budget.task_interrupt] as it starts: once the ambient budget
     trips (or is cancelled), tasks not yet started fail instantly with

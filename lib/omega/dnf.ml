@@ -70,15 +70,27 @@ let of_formula_core mode f =
     | F.And fs ->
         List.fold_left (fun acc g -> product acc (go g)) [ Clause.top ] fs
     | F.Or fs -> List.concat_map go fs
-    | F.Not g -> negate_clauses (go g)
+    | F.Not g ->
+        (* The pre-filter may only prune inside subtrees whose clause
+           lists reach the final [is_feasible] filter through
+           conjunction products and concatenations — there a pruned
+           (provably infeasible) clause is invisible. A clause list that
+           is {e negated} is different: ¬Cᵢ of an infeasible Cᵢ changes
+           how the product splits every other clause, so pruning under a
+           negation would change the surviving clauses' syntax. Disarm
+           for the whole negated subtree (armed pruning resumes only
+           outside it). *)
+        negate_clauses (Prefilter.with_armed false (fun () -> go g))
     | F.Exists (vs, g) ->
         List.concat_map (fun c -> Solve.project mode vs c) (go g)
     | F.Forall (vs, g) ->
-        (* ∀v.g  =  ¬∃v.¬g *)
-        negate_clauses
-          (List.concat_map
-             (fun c -> Solve.project mode vs c)
-             (go (F.not_ g)))
+        (* ∀v.g  =  ¬∃v.¬g — the projected lists feed a negation, so the
+           same disarming applies. *)
+        Prefilter.with_armed false (fun () ->
+            negate_clauses
+              (List.concat_map
+                 (fun c -> Solve.project mode vs c)
+                 (go (F.not_ g))))
   in
   go f
   |> List.filter_map Gist.remove_redundant

@@ -19,6 +19,14 @@ let m_elim_fanout =
 let m_project_depth =
   Obs.Metrics.histogram "solve.project_depth" ~buckets:[| 1; 2; 4; 8; 16; 32 |]
 
+(* Splinter pins skipped because the pre-filter proved their pin value
+   outside the clause's feasible interval (armed runs only). *)
+let m_pruned_pins = Obs.Metrics.counter "planner.pruned_pins"
+
+(* Branches of an armed projection dropped by a [Prefilter.probe]
+   refutation before being reduced further. *)
+let m_pruned_branches = Obs.Metrics.counter "planner.pruned_branches"
+
 (* Bounds on [v] among the inequalities:
    - lower (b, β):  β ≤ b·v   (from  b·v − β ≥ 0)
    - upper (a, α):  a·v ≤ α   (from  α − a·v ≥ 0)
@@ -135,11 +143,55 @@ let eliminate_core mode v (c : Clause.t) : Clause.t list =
     let dark_clause =
       { base with geqs = List.map (shadow true) pairs @ base.geqs }
     in
+    (* Armed runs clamp the splinter-pin loops below: a pin equality
+       [aff = i] is satisfiable only for [i] inside the feasible
+       interval of [aff] under the clause's propagated variable bounds,
+       so values outside it are skipped. Every skipped pin is a provably
+       infeasible clause — exactly what downstream [is_feasible]
+       filtering would drop — so armed output denotes the same set and
+       renders byte-identically after those filters (prefilter.mli). *)
+    let penv =
+      if Prefilter.armed () then Some (Prefilter.env_of_clause c) else None
+    in
+    let clamp lo hi aff =
+      match penv with
+      | None -> (lo, hi)
+      | Some env ->
+          let iv = Prefilter.affine_interval env aff in
+          ( (match iv.Prefilter.lo with
+            | Some l -> Zint.max lo l
+            | None -> lo),
+            match iv.Prefilter.hi with
+            | Some h -> Zint.min hi h
+            | None -> hi )
+    in
+    let span lo hi =
+      if Zint.compare lo hi > 0 then Zint.zero
+      else Zint.succ (Zint.sub hi lo)
+    in
+    let note_pruned full kept =
+      if penv <> None then begin
+        let pruned = Zint.sub full kept in
+        if Zint.sign pruned > 0 then
+          Obs.Metrics.incr
+            ~by:(Option.value ~default:max_int (Zint.to_int pruned))
+            m_pruned_pins
+      end
+    in
+    (* Cheap real-shadow refutation before any splinter is expanded:
+       every solution of [c] projects into the real shadow, so a refuted
+       real shadow proves [∃v. c] empty and the whole splinter loop can
+       be skipped (the dark shadow emitted below is infeasible too and
+       is dropped downstream like any pruned pin). *)
+    let region_refuted () =
+      penv <> None && Prefilter.probe real_clause = Prefilter.Refuted
+    in
     if List.for_all exact pairs then [ dark_clause ]
     else
       match mode with
       | Approx_real -> [ real_clause ]
       | Approx_dark -> [ dark_clause ]
+      | Exact_overlapping when region_refuted () -> [ dark_clause ]
       | Exact_overlapping ->
           (* CACM splinters: with a_max the largest upper-bound coefficient,
              any solution missed by the dark shadow has b·v = β + i for some
@@ -156,22 +208,22 @@ let eliminate_core mode v (c : Clause.t) : Clause.t list =
                     (Zint.sub (Zint.mul amax b) (Zint.add amax b))
                     amax
                 in
+                let pin_base = A.sub (A.scale b (A.var v)) beta in
+                let lo_i, hi_i = clamp Zint.zero top pin_base in
+                note_pruned (span Zint.zero top) (span lo_i hi_i);
                 let rec go i acc =
-                  if Zint.compare i top > 0 then acc
+                  if Zint.compare i hi_i > 0 then acc
                   else begin
-                    let pin =
-                      A.add_const
-                        (A.sub (A.scale b (A.var v)) beta)
-                        (Zint.neg i)
-                    in
+                    let pin = A.add_const pin_base (Zint.neg i) in
                     let cl = { c with eqs = pin :: c.eqs } in
                     go (Zint.succ i) (eliminate_via_eq v cl :: acc)
                   end
                 in
-                go Zint.zero [])
+                go lo_i [])
               lowers
           in
           dark_clause :: splinters
+      | Exact_disjoint when region_refuted () -> [ dark_clause ]
       | Exact_disjoint ->
           (* Figure 1 (right): for each pair that can miss the dark shadow,
              pin the gap b·α − a·β to each value i below (a−1)(b−1), then
@@ -186,21 +238,25 @@ let eliminate_core mode v (c : Clause.t) : Clause.t list =
                 let gap = Zint.mul (Zint.pred a) (Zint.pred b) in
                 let gap_aff = shadow false pair in
                 (* gap_aff = b·α − a·β *)
+                let pin_base =
+                  A.sub (A.scale (Zint.mul a b) (A.var v)) (A.scale a beta)
+                in
+                let full =
+                  (* Σ_{i=0}^{gap−1} (i+1) = gap·(gap+1)/2 candidate pins *)
+                  Zint.divexact (Zint.mul gap (Zint.succ gap)) Zint.two
+                in
+                let emitted = ref Zint.zero in
+                let lo_i, hi_i = clamp Zint.zero (Zint.pred gap) gap_aff in
                 let rec loop_i i =
-                  if Zint.compare i gap >= 0 then ()
+                  if Zint.compare i hi_i > 0 then ()
                   else begin
                     let guard = A.add_const gap_aff (Zint.neg i) in
                     (* a·b·v = a·β + i' for i' = 0..i *)
+                    let lo_i', hi_i' = clamp Zint.zero i pin_base in
                     let rec loop_i' i' =
-                      if Zint.compare i' i > 0 then ()
+                      if Zint.compare i' hi_i' > 0 then ()
                       else begin
-                        let pin =
-                          A.add_const
-                            (A.sub
-                               (A.scale (Zint.mul a b) (A.var v))
-                               (A.scale a beta))
-                            (Zint.neg i')
-                        in
+                        let pin = A.add_const pin_base (Zint.neg i') in
                         let cl =
                           {
                             c with
@@ -208,15 +264,17 @@ let eliminate_core mode v (c : Clause.t) : Clause.t list =
                             geqs = !acc_dark @ c.geqs;
                           }
                         in
+                        emitted := Zint.succ !emitted;
                         outputs := eliminate_via_eq v cl :: !outputs;
                         loop_i' (Zint.succ i')
                       end
                     in
-                    loop_i' Zint.zero;
+                    loop_i' lo_i';
                     loop_i (Zint.succ i)
                   end
                 in
-                loop_i Zint.zero;
+                loop_i lo_i;
+                note_pruned full !emitted;
                 acc_dark := shadow true pair :: !acc_dark
               end)
             pairs;
@@ -259,7 +317,14 @@ let eliminate_memo mode v (c : Clause.t) : Clause.t list =
   mc.elim_queries <- mc.elim_queries + 1;
   if not (Memo.enabled ()) then eliminate_uncached mode v c
   else begin
-    let key = Memo.Ckey.of_clause ~salt:(mode_tag mode) ~vars:[ v ] c in
+    (* Armed (pre-filter-clamped) and unarmed eliminations of the same
+       clause produce different (though equivalent-after-filtering)
+       splinter lists, so they must never share a cache entry: the armed
+       bit is part of the salt. *)
+    let salt =
+      mode_tag mode lor if Prefilter.armed () then 4 else 0
+    in
+    let key = Memo.Ckey.of_clause ~salt ~vars:[ v ] c in
     match ElimTbl.find_opt elim_cache key with
     | Some r ->
         mc.elim_hits <- mc.elim_hits + 1;
@@ -373,7 +438,27 @@ let project_core mode vars (c : Clause.t) : Clause.t list =
                             c.wilds None
                     with
                     | Some (w, _) ->
-                        List.iter (reduce (steps + 1)) (eliminate mode w c)
+                        let branches = eliminate mode w c in
+                        (* Armed projections refute doomed branches
+                           before reducing them further: a [Refuted]
+                           verdict is a proof of infeasibility, and
+                           every clause such a branch could emit is
+                           dropped by downstream [is_feasible]
+                           filtering anyway (see prefilter.mli). *)
+                        let branches =
+                          if Prefilter.armed () then
+                            List.filter
+                              (fun cl ->
+                                let keep =
+                                  Prefilter.probe cl <> Prefilter.Refuted
+                                in
+                                if not keep then
+                                  Obs.Metrics.incr m_pruned_branches;
+                                keep)
+                              branches
+                          else branches
+                        in
+                        List.iter (reduce (steps + 1)) branches
                     | None ->
                         (* no constrained wildcards remain *)
                         Obs.Metrics.observe m_project_depth steps;
@@ -433,7 +518,20 @@ let rec feasible steps (c : Clause.t) =
 and feasible_body steps (c : Clause.t) =
   match Clause.normalize c with
   | None -> false
-  | Some c ->
+  | Some c -> begin
+      (* Armed runs try the bounded pre-filter first: a witness or a
+         refutation is exact, so the memoized result is the same
+         boolean the full recursion computes (the feasibility cache
+         needs no armed salt), just cheaper. *)
+      match
+        if Prefilter.armed () then Prefilter.probe c else Prefilter.Unknown
+      with
+      | Prefilter.Refuted -> false
+      | Prefilter.Feasible -> true
+      | Prefilter.Unknown -> feasible_search steps c
+    end
+
+and feasible_search steps (c : Clause.t) =
       (* All variables are treated as existentially quantified. *)
       let all = Clause.all_vars c in
       if V.Set.is_empty all then true

@@ -22,4 +22,5 @@ let () =
       Test_alloc.suite;
       Test_governor.suite;
       Test_gfcount.suite;
+      Test_planner.suite;
     ]
