@@ -584,6 +584,23 @@ let micro_experiments : (string * (string * string) list * (unit -> unit)) list
    self-describing (no out-of-band knowledge of what each label ran). *)
 let engine_meta = E.opts_fields E.default @ [ ("memo", "on") ]
 
+(* Single-formula engine experiments carry the query fingerprint in
+   their options object — the join key shared with report cards,
+   [omcount --stats], and [--explain-plan] output. *)
+let fingerprinted =
+  [
+    ("E1_example1", ([ "i"; "j"; "kk" ], example1_formula));
+    ("E2_example2", ([ "i"; "j"; "kk" ], example2_formula));
+    ("E4_example4", ([ "x" ], example4_formula));
+    ("E6_example6", ([ "i"; "j" ], example6_formula));
+  ]
+
+let fingerprint_of label =
+  Option.map
+    (fun (vars, f) ->
+      Counting.Telemetry.fingerprint ~vars ~summand:Qpoly.one f)
+    (List.assoc_opt label fingerprinted)
+
 let instr_experiments : (string * (string * string) list * (unit -> unit)) list
     =
   [
@@ -646,6 +663,11 @@ let instr_report emit =
            fastest, the standard best-of-k defence against scheduler
            jitter. *)
         let reps = 5 in
+        let meta =
+          match fingerprint_of label with
+          | Some fp -> meta @ [ ("fingerprint", fp) ]
+          | None -> meta
+        in
         let best = ref None in
         for _ = 1 to reps do
           Omega.Memo.clear_all ();
@@ -657,6 +679,16 @@ let instr_report emit =
         done;
         let r = Option.get !best in
         emit (Counting.Instr.to_json r);
+        (* With a telemetry sink armed (`--telemetry FILE`) the formula
+           experiments also emit a full report card, giving CI a
+           schema-validation corpus straight from the bench smoke. *)
+        (match List.assoc_opt label fingerprinted with
+        | Some (vars, formula) when Counting.Telemetry.enabled () ->
+            Counting.Telemetry.record
+              (Counting.Telemetry.build ~label ~opts:E.default ~vars
+                 ~summand:Qpoly.one ~outcome:Counting.Telemetry.Complete
+                 ~report:r formula)
+        | _ -> ());
         (label, r.Counting.Instr.memo.Omega.Memo.eliminations))
       (instr_experiments @ micro_experiments)
   in
@@ -1006,6 +1038,79 @@ let governor_report emit =
     governor_overhead_experiments
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the disabled path (sink off, log off — the
+   production default, and what omcount runs without --stats/--telemetry)
+   vs instrumentation collection alone (the --stats cost) vs the full
+   card pipeline (collection + card assembly + JSON render + append to a
+   sink file, log level Info). The E6 workload is the same expression as
+   BENCH_5's governor_overhead_E6 baseline, so disabled_s is directly
+   comparable across trajectory files — "telemetry disabled costs
+   nothing" is checked against history, and the alloc-guard test pins
+   the same claim in allocation words. Byte-identity of the counted
+   value across all three sides is asserted before timing. *)
+
+let telemetry_experiments =
+  [
+    ( "E4",
+      [ "x" ],
+      example4_formula,
+      fun () -> ignore (E.count ~vars:[ "x" ] example4_formula) );
+    ( "E6",
+      [ "i"; "j" ],
+      example6_formula,
+      fun () ->
+        ignore
+          (Counting.Merge.merge_residues
+             (E.count ~vars:[ "i"; "j" ] example6_formula)) );
+  ]
+
+let telemetry_report emit =
+  Printf.printf "Telemetry overhead (cold caches, interleaved best of 9):\n";
+  let tmp = Filename.temp_file "omega_bench_telemetry" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Counting.Telemetry.set_file None;
+      Obs.Log.set_level None;
+      try Sys.remove tmp with Sys_error _ -> ())
+  @@ fun () ->
+  List.iter
+    (fun (label, vars, formula, run) ->
+      (* byte-identity first: enabling telemetry + logging must not
+         change the counted value *)
+      Omega.Memo.clear_all ();
+      let plain_v = Counting.Value.to_string (E.count ~vars formula) in
+      Counting.Telemetry.set_file (Some tmp);
+      Obs.Log.set_level (Some Obs.Log.Info);
+      Omega.Memo.clear_all ();
+      let enabled_v = Counting.Value.to_string (E.count ~vars formula) in
+      Counting.Telemetry.set_file None;
+      Obs.Log.set_level None;
+      if not (String.equal plain_v enabled_v) then
+        failwith
+          (Printf.sprintf "telemetry_overhead_%s: enabled output differs" label);
+      let stats () = ignore (E.with_instr ~label run) in
+      let enabled () =
+        Counting.Telemetry.set_file (Some tmp);
+        Obs.Log.set_level (Some Obs.Log.Info);
+        let (), r = E.with_instr ~label run in
+        Counting.Telemetry.record
+          (Counting.Telemetry.build ~label ~opts:E.default ~vars
+             ~summand:Qpoly.one ~outcome:Counting.Telemetry.Complete ~report:r
+             formula);
+        Counting.Telemetry.set_file None;
+        Obs.Log.set_level None
+      in
+      match time_interleaved ~reps:9 [ run; stats; enabled ] with
+      | [ disabled_s; stats_s; enabled_s ] ->
+          let pct x = (x /. disabled_s -. 1.) *. 100. in
+          emit
+            (Printf.sprintf
+               "{\"label\":\"telemetry_overhead_%s\",\"disabled_s\":%.6f,\"stats_s\":%.6f,\"enabled_s\":%.6f,\"overhead_stats_pct\":%.2f,\"overhead_enabled_pct\":%.2f,\"identical\":true}"
+               label disabled_s stats_s enabled_s (pct stats_s) (pct enabled_s))
+      | _ -> assert false)
+    telemetry_experiments
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                      *)
 
 open Bechamel
@@ -1096,6 +1201,9 @@ let () =
   (match Option.bind (find_arg "--jobs") int_of_string_opt with
   | Some n -> Counting.Pool.set_jobs n
   | None -> ());
+  (match find_arg "--telemetry" with
+  | Some f -> Counting.Telemetry.set_file (Some f)
+  | None -> ());
   let json_oc = Option.map open_out json_file in
   let emit line =
     Printf.printf "%s\n" line;
@@ -1121,6 +1229,13 @@ let () =
     Option.iter close_out json_oc;
     exit 0
   end;
+  if List.mem "telemetry_report" argv then begin
+    (* `bench telemetry_report`: just the telemetry-overhead lines (the
+       BENCH_8.json generator). *)
+    telemetry_report emit;
+    Option.iter close_out json_oc;
+    exit 0
+  end;
   report ();
   (* Trace only the instrumented runs: tracing the Bechamel timing loops
      below would perturb the very numbers they measure. *)
@@ -1130,6 +1245,7 @@ let () =
   backend_report emit;
   planner_report emit;
   governor_report emit;
+  telemetry_report emit;
   Option.iter
     (fun f ->
       Obs.Trace.set_enabled false;

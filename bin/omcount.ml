@@ -120,7 +120,10 @@ let explain_keys =
     "engine.splinter_fanout";
   ]
 
-let print_explain_plan opts (q : Preslang.query) cls =
+let print_explain_plan opts (q : Preslang.query) ~fingerprint cls =
+  (* The fingerprint heads the dump so --explain-plan output joins the
+     report cards and bench lines on the same key. *)
+  Printf.eprintf "fingerprint: %s\n" fingerprint;
   (* Render the dump under the run's arming so the prefilter= field
      reports what the computation will actually do. *)
   Omega.Prefilter.with_armed
@@ -151,15 +154,72 @@ let run query bindings strategy backend plan explain_plan merge stats ~budget
     ~json =
   let q = Preslang.parse_query query in
   let opts = { Counting.Engine.default with strategy; backend; plan } in
+  let fingerprint =
+    Counting.Telemetry.fingerprint ~vars:q.Preslang.vars
+      ~summand:q.Preslang.summand q.Preslang.formula
+  in
+  Obs.Log.info
+    ~fields:(fun () -> [ ("fingerprint", Obs.Trace.Str fingerprint) ])
+    (fun () -> "query start");
+  (* Ambient context: a post-mortem bundle written mid-query (before the
+     card is assembled) still carries the join key. *)
+  Counting.Telemetry.set_context
+    (("query", "omcount") :: ("fingerprint", fingerprint)
+    :: Counting.Engine.opts_fields opts);
   let governed = json || not (Counting.Governor.is_unlimited budget) in
   let merged v = if merge then Counting.Merge.merge_residues v else v in
+  (* A report is collected whenever anything consumes it: --stats, an
+     enabled telemetry sink, or a post-mortem directory (so bundles can
+     embed the card). The answer path is identical either way. *)
+  let want_report =
+    stats
+    || Counting.Telemetry.enabled ()
+    || Counting.Telemetry.postmortem_dir () <> None
+  in
+  let meta =
+    Counting.Engine.opts_fields opts @ [ ("fingerprint", fingerprint) ]
+  in
+  let collect compute =
+    if want_report then begin
+      let x, report =
+        Counting.Engine.with_instr ~label:"omcount" ~meta compute
+      in
+      (x, Some report)
+    end
+    else (compute (), None)
+  in
+  (* Assemble and emit the report card, hand it to any pending
+     post-mortem bundle, and log the outcome. Runs after the answer has
+     been computed (and under no budget), so it cannot affect it. *)
+  let emit_card ~outcome report =
+    (match report with
+    | Some r
+      when Counting.Telemetry.enabled ()
+           || Counting.Telemetry.pending_postmortem () <> None ->
+        let card =
+          Counting.Telemetry.build ~label:"omcount" ~opts
+            ~vars:q.Preslang.vars ~summand:q.Preslang.summand ~outcome
+            ~report:r q.Preslang.formula
+        in
+        Counting.Telemetry.record card;
+        Counting.Telemetry.flush_postmortem ~card ()
+    | _ -> Counting.Telemetry.flush_postmortem ());
+    Obs.Log.info
+      ~fields:(fun () ->
+        [
+          ("fingerprint", Obs.Trace.Str fingerprint);
+          ( "status",
+            Obs.Trace.Str (Counting.Telemetry.outcome_status outcome) );
+        ])
+      (fun () -> "query done")
+  in
   let explain_before =
     if explain_plan then begin
       (* One extra DNF pass to show the plan up front; the clauses are
          recomputed by the run itself (the solver memo absorbs most of
          the duplicate work). *)
       let cls = Counting.Engine.to_clauses ~opts q.Preslang.formula in
-      print_explain_plan opts q cls;
+      print_explain_plan opts q ~fingerprint cls;
       Some (Obs.Metrics.snapshot ())
     end
     else None
@@ -173,38 +233,19 @@ let run query bindings strategy backend plan explain_plan merge stats ~budget
         (Counting.Engine.sum ~opts ~vars:q.Preslang.vars q.Preslang.formula
            q.Preslang.summand)
     in
-    let value, report =
-      if stats then begin
-        let value, report =
-          Counting.Engine.with_instr ~label:"omcount"
-            ~meta:(Counting.Engine.opts_fields opts)
-            compute
-        in
-        (value, Some report)
-      end
-      else (compute (), None)
-    in
+    let value, report = collect compute in
     Printf.printf "%s\n" (Counting.Value.to_string value);
     print_eval_at bindings value;
     finish_explain ();
-    print_report report
+    emit_card ~outcome:Counting.Telemetry.Complete report;
+    print_report (if stats then report else None)
   end
   else begin
     let compute () =
       Counting.Governor.sum ~budget ~opts ~vars:q.Preslang.vars
         q.Preslang.formula q.Preslang.summand
     in
-    let outcome, report =
-      if stats then begin
-        let outcome, report =
-          Counting.Engine.with_instr ~label:"omcount"
-            ~meta:(Counting.Engine.opts_fields opts)
-            compute
-        in
-        (outcome, Some report)
-      end
-      else (compute (), None)
-    in
+    let outcome, report = collect compute in
     match outcome with
     | Counting.Governor.Complete value ->
         let value = merged value in
@@ -214,7 +255,8 @@ let run query bindings strategy backend plan explain_plan merge stats ~budget
           print_eval_at bindings value
         end;
         finish_explain ();
-        print_report report
+        emit_card ~outcome:Counting.Telemetry.Complete report;
+        print_report (if stats then report else None)
     | Counting.Governor.Partial p ->
         let p =
           {
@@ -238,7 +280,12 @@ let run query bindings strategy backend plan explain_plan merge stats ~budget
             | None -> "unknown")
         end;
         finish_explain ();
-        print_report report;
+        emit_card
+          ~outcome:
+            (Counting.Telemetry.Partial
+               (Counting.Governor.reason_name p.reason))
+          report;
+        print_report (if stats then report else None);
         exit 3
   end
 
@@ -312,6 +359,7 @@ let () =
   let simplify = ref false in
   let stats = ref false in
   let trace_file = ref None in
+  let metrics_file = ref None in
   let profile = ref false in
   let json = ref false in
   let deadline_ms = ref None in
@@ -384,6 +432,24 @@ let () =
         Arg.String (fun f -> trace_file := Some f),
         "FILE  record a hierarchical trace and write it to FILE as Chrome \
          trace-event JSON (open in Perfetto or chrome://tracing)" );
+      ( "--telemetry",
+        Arg.String (fun f -> Counting.Telemetry.set_file (Some f)),
+        "FILE  append one JSON report card per query to FILE \
+         (fingerprint, per-clause plan/backend, hit rates, budget \
+         spend, outcome; also $OMEGA_TELEMETRY); answers are unchanged" );
+      ( "--metrics-out",
+        Arg.String (fun f -> metrics_file := Some f),
+        "FILE  write the metrics registry to FILE at exit in \
+         OpenMetrics/Prometheus text format" );
+      ( "--log-level",
+        Arg.Symbol
+          ([ "off"; "error"; "warn"; "info"; "debug" ],
+           fun s ->
+             match Obs.Log.level_of_string s with
+             | Some l -> Obs.Log.set_level l
+             | None -> ()),
+        "  structured-log level (JSON lines on stderr; default \
+         $OMEGA_LOG or off)" );
       ( "--profile",
         Arg.Set profile,
         "  record a trace and print a self-time-sorted span tree to stderr" );
@@ -409,6 +475,15 @@ let () =
   in
   let usage = "omcount [options] \"count { vars : formula }\" | \"sum { vars : formula } expr\"" in
   Arg.parse spec (fun s -> query := Some s) usage;
+  (match !metrics_file with
+  | None -> ()
+  | Some f ->
+      (* At exit, like --trace, so failed runs still leave a dump. *)
+      at_exit (fun () ->
+          let oc = open_out f in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> Obs.Openmetrics.write oc (Obs.Metrics.snapshot ()))));
   if !trace_file <> None || !profile then begin
     Obs.Trace.set_enabled true;
     (* Dump at exit so post-mortem traces of failed runs (parse errors
@@ -452,7 +527,11 @@ let () =
       | Omega.Error.Omega_error { phase; what; context } ->
           Printf.eprintf "omcount: %s\n"
             (Omega.Error.to_string ~phase ~what context);
+          Obs.Log.error (fun () ->
+              Omega.Error.to_string ~phase ~what context);
+          Counting.Telemetry.write_postmortem ~trigger:"omega_error" ();
           exit 1
       | Failure msg ->
           Printf.eprintf "omcount: %s\n" msg;
+          Obs.Log.error (fun () -> msg);
           exit 1)

@@ -48,7 +48,9 @@ let mix a b =
 
 let record_injection () =
   Atomic.incr injected;
-  Obs.Metrics.incr m_injections
+  Obs.Metrics.incr m_injections;
+  Obs.Flight.note "chaos.injection"
+    [ ("n", string_of_int (Atomic.get injected)) ]
 
 (* Checkpoint faults simulate the budget's own trip conditions, so the
    whole degradation path downstream of a real exhaustion is exercised:
@@ -92,19 +94,11 @@ let install () =
            Obs.Budget.set_chaos_hook None;
            Obs.Budget.set_chaos_task_hook None
          end);
-    match Sys.getenv_opt "OMEGA_CHAOS" with
+    match Obs.Envcfg.int_opt "OMEGA_CHAOS" with
     | None -> ()
-    | Some s -> (
-        match int_of_string_opt (String.trim s) with
-        | None -> ()
-        | Some seed ->
-            let rate =
-              match Sys.getenv_opt "OMEGA_CHAOS_RATE" with
-              | Some r -> (
-                  match int_of_string_opt (String.trim r) with
-                  | Some n when n >= 1 -> n
-                  | _ -> default_rate)
-              | None -> default_rate
-            in
-            set ~rate (Some seed))
+    | Some seed ->
+        let rate =
+          Obs.Envcfg.int_or "OMEGA_CHAOS_RATE" ~min:1 ~default:default_rate
+        in
+        set ~rate (Some seed)
   end

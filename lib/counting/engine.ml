@@ -619,6 +619,18 @@ let run_clause opts stats vs poly c =
     | None -> fallback ()
   else fallback ()
 
+(* The routing choice as a report-card label. Recomputed by Telemetry
+   after the answer run (both [try_gf] and [clause_plan] are pure in the
+   clause), so building a report card never touches the answer path. *)
+let route_clause ?(opts = default) ~vars poly c =
+  let vs = List.map V.named vars in
+  let planner_gf =
+    match clause_plan opts vs poly c with
+    | Some d -> d.Planner.use_gf
+    | None -> false
+  in
+  if try_gf opts vs c || planner_gf then "gf" else "pugh"
+
 (* One traced span per disjunct, with per-clause wall time fed to the
    clause_us histogram. On a pool worker the span lands in that
    worker's ring; the export merges rings, so the per-clause spans

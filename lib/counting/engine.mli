@@ -170,6 +170,15 @@ val sum_clauses_governed :
   Qpoly.t ->
   (Value.t, Obs.Budget.reason) result list
 
+(** [route_clause ?opts ~vars poly c] is the backend the per-clause
+    dispatch would choose for [c]: ["gf"] when the static rule or (under
+    [plan = Adaptive]) the planner routes it to the generating-function
+    backend, ["pugh"] otherwise. A pure function of the clause — the
+    telemetry report card recomputes routing after the answer run
+    instead of instrumenting the dispatch itself. *)
+val route_clause :
+  ?opts:options -> vars:string list -> Qpoly.t -> Omega.Clause.t -> string
+
 (** [with_instr ?label ?meta f] runs [f] under instrumentation: phase
     timers are reset, engine counters are collected from every
     [sum]/[count] call inside [f] that does not pass its own [?stats],

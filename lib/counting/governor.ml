@@ -98,6 +98,17 @@ let sum ?(budget = unlimited) ?(opts = Engine.default) ?stats ~vars f poly =
      budget. *)
   let mk_partial ~clauses_done ~clauses_total ~reason vals =
     let pieces = simplified vals in
+    Obs.Log.warn
+      ~fields:(fun () ->
+        [
+          ("reason", Obs.Trace.Str (reason_name reason));
+          ("clauses_done", Obs.Trace.Int clauses_done);
+          ("clauses_total", Obs.Trace.Int clauses_total);
+        ])
+      (fun () -> "governed query degraded to a partial answer");
+    (* The finished report card does not exist yet (instrumentation is
+       still collecting); the CLI / bench supplies it at flush time. *)
+    Telemetry.request_postmortem ~trigger:("budget." ^ reason_name reason);
     Partial
       {
         pieces;

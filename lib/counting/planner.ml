@@ -7,7 +7,10 @@ module C = Omega.Clause
 let m_adaptive = Obs.Metrics.counter "planner.adaptive_clauses"
 let m_gf_routed = Obs.Metrics.counter "planner.gf_routed"
 let note_adaptive () = Obs.Metrics.incr m_adaptive
-let note_gf_routed () = Obs.Metrics.incr m_gf_routed
+
+let note_gf_routed () =
+  Obs.Metrics.incr m_gf_routed;
+  Obs.Flight.note "planner.gf_routed" []
 
 (* Caps keep every score a small int: the model ranks, it does not
    count, and uncapped products of big coefficients would overflow. *)

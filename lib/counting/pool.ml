@@ -64,12 +64,11 @@ type pool = {
 let clamp_jobs n = if n < 1 then 1 else if n > 64 then 64 else n
 
 let default_jobs =
-  match Sys.getenv_opt "OMEGA_JOBS" with
-  | Some s -> (
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> clamp_jobs n
-      | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+  (* values above the 64-domain cap are well-formed requests, just
+     clamped, so they go through [clamp_jobs] rather than warning *)
+  clamp_jobs
+    (Obs.Envcfg.int_or "OMEGA_JOBS" ~min:1
+       ~default:(Domain.recommended_domain_count ()))
 
 let jobs_setting = Atomic.make (clamp_jobs default_jobs)
 
@@ -100,6 +99,10 @@ let try_run (Packed fut) p =
   let seen = Atomic.get fut.state in
   match seen with
   | Pending run when Atomic.compare_and_set fut.state seen Running ->
+      (* tasks are chunky (a whole clause or splinter branch), so one
+         flight-recorder note per start is cold next to the task body *)
+      Obs.Flight.note "pool.task"
+        [ ("worker", string_of_int (worker_ix ())) ];
       let t0 = Unix.gettimeofday () in
       run ();
       Atomic.set fut.state Finished;
@@ -191,6 +194,7 @@ let make_pool n =
     }
   in
   p.domains <- Array.init (n - 1) (fun i -> Domain.spawn (worker p (i + 1)));
+  Obs.Flight.note "pool.start" [ ("jobs", string_of_int n) ];
   p
 
 (* The pool for the current [jobs] setting, spun up on first use. *)

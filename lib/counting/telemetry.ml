@@ -1,0 +1,356 @@
+(* Per-query report cards and post-mortem bundles — see telemetry.mli. *)
+
+module F = Presburger.Formula
+module A = Presburger.Affine
+module V = Presburger.Var
+
+let escape = Obs.Trace.json_escape
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint                                                         *)
+
+(* Splitmix-style avalanche over 62-bit ints (same mixer family as
+   Chaos); [A.hash] is cached per affine term, so fingerprinting large
+   formulas is one traversal of the syntax tree. *)
+let mix a b =
+  let h = ref (a lxor (b * 0x9E3779B97F4A7C1)) in
+  h := !h lxor (!h lsr 30);
+  h := !h * 0xBF58476D1CE4E5B;
+  h := !h lxor (!h lsr 27);
+  h := !h * 0x94D049BB133111E;
+  h := !h lxor (!h lsr 31);
+  !h land max_int
+
+let atom_hash = function
+  | F.Geq a -> mix 3 (A.hash a)
+  | F.Eq a -> mix 5 (A.hash a)
+  | F.Stride (m, a) -> mix 7 (mix (Zint.hash m) (A.hash a))
+
+let rec formula_hash f =
+  match f with
+  | F.True -> 1
+  | F.False -> 2
+  | F.Atom a -> mix 11 (atom_hash a)
+  | F.And fs -> List.fold_left (fun h g -> mix h (formula_hash g)) 13 fs
+  | F.Or fs -> List.fold_left (fun h g -> mix h (formula_hash g)) 17 fs
+  | F.Not g -> mix 19 (formula_hash g)
+  | F.Exists (vs, g) ->
+      mix (List.fold_left (fun h v -> mix h (V.hash v)) 23 vs) (formula_hash g)
+  | F.Forall (vs, g) ->
+      mix (List.fold_left (fun h v -> mix h (V.hash v)) 29 vs) (formula_hash g)
+
+let fingerprint ~vars ~summand f =
+  let h = List.fold_left (fun h v -> mix h (Hashtbl.hash v)) 31 vars in
+  (* Qpoly is abstract but immutable; a deep polymorphic hash over its
+     representation is deterministic within a build, and summands are
+     tiny next to formulas. *)
+  let h = mix h (Hashtbl.hash_param 256 512 summand) in
+  Printf.sprintf "%016x" (mix h (formula_hash f))
+
+(* ------------------------------------------------------------------ *)
+(* Cards                                                               *)
+
+type outcome = Complete | Partial of string | Failed of string
+
+let outcome_status = function
+  | Complete -> "complete"
+  | Partial _ -> "partial"
+  | Failed _ -> "failed"
+
+type clause_info = {
+  index : int;
+  rows : int;
+  backend : string;
+  predicted_fanout : int;
+  order : string list;
+  weight : int;
+}
+
+type card = {
+  fingerprint : string;
+  query : string;
+  vars : string list;
+  outcome : outcome;
+  clauses : clause_info list;
+  clauses_total : int;
+  report : Instr.report;
+}
+
+let clause_cap = 64
+
+let clause_infos ~opts ~vars ~summand cls =
+  let vs = List.map V.named vars in
+  let exact = opts.Engine.strategy = Engine.Exact in
+  let const_poly = Option.is_some (Qpoly.to_const summand) in
+  List.mapi
+    (fun index c ->
+      let d = Planner.plan_clause ~exact ~const_poly ~vars:vs c in
+      {
+        index;
+        rows = d.Planner.rows;
+        backend = Engine.route_clause ~opts ~vars summand c;
+        predicted_fanout = d.Planner.predicted_fanout;
+        order = List.map V.to_string d.Planner.order;
+        weight = d.Planner.weight;
+      })
+    cls
+
+let build ?(label = "query") ~opts ~vars ~summand ~outcome ~report f =
+  let clauses =
+    match Engine.to_clauses ~opts f with
+    | cls -> clause_infos ~opts ~vars ~summand cls
+    | exception _ -> []
+  in
+  let total = List.length clauses in
+  let kept =
+    if total <= clause_cap then clauses
+    else List.filteri (fun i _ -> i < clause_cap) clauses
+  in
+  {
+    fingerprint = fingerprint ~vars ~summand f;
+    query = label;
+    vars;
+    outcome;
+    clauses = kept;
+    clauses_total = total;
+    report;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let count_metric report name =
+  match List.assoc_opt name report.Instr.metrics with
+  | Some (Obs.Metrics.Count n) -> n
+  | _ -> 0
+
+let pct part whole =
+  if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+let clause_json ci =
+  Printf.sprintf
+    "{\"index\":%d,\"rows\":%d,\"backend\":\"%s\",\"predicted_fanout\":%d,\"order\":[%s],\"weight\":%d}"
+    ci.index ci.rows (escape ci.backend) ci.predicted_fanout
+    (String.concat ","
+       (List.map (fun v -> "\"" ^ escape v ^ "\"") ci.order))
+    ci.weight
+
+let to_json card =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"omegacount.card.v1\",\"fingerprint\":\"%s\",\"query\":\"%s\""
+       (escape card.fingerprint) (escape card.query));
+  Buffer.add_string b ",\"vars\":[";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b ("\"" ^ escape v ^ "\""))
+    card.vars;
+  Buffer.add_string b "],\"outcome\":{\"status\":\"";
+  Buffer.add_string b (outcome_status card.outcome);
+  Buffer.add_char b '"';
+  (match card.outcome with
+  | Complete -> ()
+  | Partial r -> Buffer.add_string b (",\"reason\":\"" ^ escape r ^ "\"")
+  | Failed e -> Buffer.add_string b (",\"error\":\"" ^ escape e ^ "\""));
+  Buffer.add_string b "},\"clauses_total\":";
+  Buffer.add_string b (string_of_int card.clauses_total);
+  Buffer.add_string b ",\"clauses\":[";
+  List.iteri
+    (fun i ci ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (clause_json ci))
+    card.clauses;
+  Buffer.add_char b ']';
+  (* Derived hit rates and budget spend, so the card answers the common
+     questions without the reader re-deriving them from the report. *)
+  let m = card.report.Instr.memo in
+  let probes = count_metric card.report "planner.probes" in
+  let refuted = count_metric card.report "planner.probe_refuted" in
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"rates\":{\"memo_feas_pct\":%.2f,\"memo_elim_pct\":%.2f,\"memo_gist_pct\":%.2f,\"prefilter_probes\":%d,\"prefilter_refuted_pct\":%.2f}"
+       (pct m.Omega.Memo.feas_hits m.Omega.Memo.feas_queries)
+       (pct m.Omega.Memo.elim_hits m.Omega.Memo.elim_queries)
+       (pct m.Omega.Memo.gist_hits m.Omega.Memo.gist_queries)
+       probes (pct refuted probes));
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"budget\":{\"fuel_used\":%d,\"trips\":%d,\"injections\":%d}"
+       (count_metric card.report "budget.fuel_used")
+       (count_metric card.report "budget.trips")
+       (count_metric card.report "chaos.injections"));
+  Buffer.add_string b ",\"report\":";
+  Buffer.add_string b (Instr.to_json card.report);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                                *)
+
+(* [enabled] is an atomic flag so the disabled check stays a load (the
+   CLI consults it before assembling anything); the channel itself is
+   mutated only from the recording domain. *)
+let on = Atomic.make false
+let sink_path : string option ref = ref None
+let sink_oc : out_channel option ref = ref None
+
+let close () =
+  match !sink_oc with
+  | Some oc ->
+      sink_oc := None;
+      close_out_noerr oc
+  | None -> ()
+
+let set_file p =
+  close ();
+  sink_path := p;
+  Atomic.set on (p <> None)
+
+let () = set_file (Obs.Envcfg.string_opt "OMEGA_TELEMETRY")
+
+let enabled () = Atomic.get on
+
+let sink_channel () =
+  match !sink_oc with
+  | Some oc -> Some oc
+  | None -> (
+      match !sink_path with
+      | None -> None
+      | Some p ->
+          let oc =
+            open_out_gen [ Open_append; Open_creat ] 0o644 p
+          in
+          sink_oc := Some oc;
+          Some oc)
+
+let record card =
+  if enabled () then
+    match sink_channel () with
+    | None -> ()
+    | Some oc ->
+        output_string oc (to_json card);
+        output_char oc '\n';
+        flush oc
+
+let () = at_exit close
+
+(* ------------------------------------------------------------------ *)
+(* Ambient context                                                     *)
+
+let context : (string * string) list ref = ref []
+
+let set_context kvs = context := kvs
+let clear_context () = context := []
+
+(* ------------------------------------------------------------------ *)
+(* Post-mortem bundles                                                 *)
+
+let pm_dir = ref (Obs.Envcfg.string_opt "OMEGA_POSTMORTEM_DIR")
+
+let set_postmortem_dir d = pm_dir := d
+let postmortem_dir () = !pm_dir
+
+let pm_seq = Atomic.make 0
+
+let trace_tail_cap = 200
+
+let sample_json = function
+  | Obs.Metrics.Count n -> string_of_int n
+  | Obs.Metrics.Hist h ->
+      let ints a =
+        "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+      in
+      Printf.sprintf "{\"buckets\":%s,\"counts\":%s,\"count\":%d,\"sum\":%d}"
+        (ints h.bounds) (ints h.counts) h.count h.sum
+
+let trace_event_json (e : Obs.Trace.event) =
+  Printf.sprintf "{\"ph\":\"%c\",\"name\":\"%s\",\"ts_us\":%.3f}" e.ph
+    (escape e.name) e.ts_us
+
+let last n xs =
+  let len = List.length xs in
+  if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+
+let bundle_json ~trigger ~card =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"omegacount.postmortem.v1\",\"trigger\":\"%s\",\"ts\":%.6f"
+       (escape trigger) (Unix.gettimeofday ()));
+  (match !context with
+  | [] -> ()
+  | kvs ->
+      Buffer.add_string b ",\"context\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+        kvs;
+      Buffer.add_char b '}');
+  Buffer.add_string b ",\"flight\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Obs.Flight.event_json ev))
+    (Obs.Flight.recent ());
+  Buffer.add_string b
+    (Printf.sprintf "],\"flight_dropped\":%d" (Obs.Flight.dropped ()));
+  Buffer.add_string b ",\"trace\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (trace_event_json ev))
+    (last trace_tail_cap (Obs.Trace.events ()));
+  Buffer.add_string b "],\"metrics\":{";
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":%s" (escape name) (sample_json s)))
+    (Obs.Metrics.snapshot ());
+  Buffer.add_string b "},\"card\":";
+  (match card with
+  | Some c -> Buffer.add_string b (to_json c)
+  | None -> Buffer.add_string b "null");
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let write_postmortem ~trigger ?card () =
+  match !pm_dir with
+  | None -> ()
+  | Some dir ->
+      (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+       with Unix.Unix_error _ -> ());
+      let n = Atomic.fetch_and_add pm_seq 1 in
+      let file =
+        Filename.concat dir
+          (Printf.sprintf "postmortem-%d-%d.json" (Unix.getpid ()) n)
+      in
+      (* Never let a failing dump mask the error being reported. *)
+      (try
+         let oc = open_out file in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () ->
+             output_string oc (bundle_json ~trigger ~card);
+             output_char oc '\n')
+       with Sys_error _ -> ())
+
+let pending : string option ref = ref None
+
+let request_postmortem ~trigger =
+  if !pm_dir <> None && !pending = None then pending := Some trigger
+
+let pending_postmortem () = !pending
+
+let flush_postmortem ?card () =
+  match !pending with
+  | None -> ()
+  | Some trigger ->
+      pending := None;
+      write_postmortem ~trigger ?card ()
+
+let () = at_exit (fun () -> flush_postmortem ())

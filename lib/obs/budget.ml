@@ -80,6 +80,7 @@ let trip c r =
   Atomic.set c.cancelled true;
   if first then begin
     Metrics.incr m_trips;
+    Flight.note "budget.trip" [ ("reason", reason_name r) ];
     if Trace.enabled () then
       Trace.instant "budget.trip"
         ~attrs:(fun () -> [ ("reason", Trace.Str (reason_name r)) ])

@@ -1,0 +1,76 @@
+(* Validated OMEGA_* environment parsing — see envcfg.mli. *)
+
+let warned = Atomic.make 0
+
+let warnings_emitted () = Atomic.get warned
+
+let warn name value ~expected ~fallback =
+  Atomic.incr warned;
+  Printf.eprintf "omegacount: warning: %s=%S is invalid (expected %s); using %s\n%!"
+    name value expected fallback
+
+let string_opt name =
+  match Sys.getenv_opt name with None | Some "" -> None | Some s -> Some s
+
+let bound_str to_s min max =
+  match (min, max) with
+  | Some lo, Some hi -> Printf.sprintf " in %s..%s" (to_s lo) (to_s hi)
+  | Some lo, None -> Printf.sprintf " >= %s" (to_s lo)
+  | None, Some hi -> Printf.sprintf " <= %s" (to_s hi)
+  | None, None -> ""
+
+let in_bounds cmp min max v =
+  (match min with Some lo -> cmp lo v <= 0 | None -> true)
+  && match max with Some hi -> cmp v hi <= 0 | None -> true
+
+let int_parse ?min ?max name ~fallback =
+  match string_opt name with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when in_bounds Int.compare min max n -> Some n
+      | _ ->
+          warn name s
+            ~expected:("an integer" ^ bound_str string_of_int min max)
+            ~fallback;
+          None)
+
+let int_or ?min ?max ~default name =
+  Option.value ~default
+    (int_parse ?min ?max name ~fallback:(string_of_int default))
+
+let int_opt ?min ?max name = int_parse ?min ?max name ~fallback:"none"
+
+let float_or ?min ?max ~default name =
+  match string_opt name with
+  | None -> default
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v when Float.is_finite v && in_bounds Float.compare min max v -> v
+      | _ ->
+          warn name s
+            ~expected:("a number" ^ bound_str string_of_float min max)
+            ~fallback:(string_of_float default);
+          default)
+
+let choice_or ~choices ~default name =
+  match string_opt name with
+  | None -> default
+  | Some s -> (
+      let k = String.lowercase_ascii (String.trim s) in
+      match List.assoc_opt k choices with
+      | Some v -> v
+      | None ->
+          warn name s
+            ~expected:
+              ("one of " ^ String.concat "|" (List.map fst choices))
+            ~fallback:"the default";
+          default)
+
+let bool_or ~default name =
+  choice_or name ~default
+    ~choices:
+      [
+        ("0", false); ("false", false); ("off", false); ("no", false);
+        ("1", true); ("true", true); ("on", true); ("yes", true);
+      ]

@@ -1,0 +1,41 @@
+(** Validated parsing of [OMEGA_*] environment variables.
+
+    Every knob the process reads from the environment goes through this
+    one helper so malformed values behave uniformly: a single clear
+    warning on stderr naming the variable, the rejected value, what was
+    expected, and the fallback actually used — instead of each call site
+    silently ignoring garbage its own way.
+
+    Readers re-read the environment on every call (they are cheap and
+    cold: once per knob per process, or per test), so tests can exercise
+    them with [Unix.putenv]. The warning counter exists for exactly that:
+    asserting that a malformed value warned and a well-formed one did
+    not. *)
+
+(** Number of warnings emitted since process start (monotonic). *)
+val warnings_emitted : unit -> int
+
+(** [int_or name ?min ?max ~default] reads [name] as an integer within
+    the (inclusive) bounds. Unset or empty → [default], silently;
+    malformed or out of range → [default] with a warning. *)
+val int_or : ?min:int -> ?max:int -> default:int -> string -> int
+
+(** Like {!int_or} but unset/empty/invalid → [None] (invalid still
+    warns). *)
+val int_opt : ?min:int -> ?max:int -> string -> int option
+
+(** [float_or name ?min ?max ~default] — float analogue of {!int_or}. *)
+val float_or : ?min:float -> ?max:float -> default:float -> string -> float
+
+(** [choice_or name ~choices ~default] matches the value
+    (case-insensitively, trimmed) against [choices] keys. Unset or
+    empty → [default], silently; anything else unmatched → [default]
+    with a warning listing the accepted spellings. *)
+val choice_or : choices:(string * 'a) list -> default:'a -> string -> 'a
+
+(** [bool_or name ~default] accepts 0/1/true/false/on/off/yes/no
+    (case-insensitive). *)
+val bool_or : default:bool -> string -> bool
+
+(** Raw read: unset or empty → [None]. Never warns. *)
+val string_opt : string -> string option

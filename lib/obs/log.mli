@@ -1,0 +1,57 @@
+(** Leveled, domain-safe structured logging.
+
+    Records are JSON lines: [{"seq":…,"ts":…,"level":…,"dom":…,"msg":…,
+    "fields":{…}}]. The level check is a single atomic load and message
+    bodies are thunks, so a disabled call site costs two loads and a
+    branch — no allocation, no formatting ([test_alloc.ml] leans on
+    this). Enabled records render immediately into a per-domain buffer
+    (same DLS-plus-registry pattern as {!Trace}): recording never takes
+    a lock, and a global sequence counter lets {!flush} interleave the
+    per-domain streams back into causal order.
+
+    The initial level comes from [OMEGA_LOG]
+    (off|error|warn|info|debug, default off) via {!Envcfg};
+    [omcount --log-level] overrides it with {!set_level}. *)
+
+type level = Error | Warn | Info | Debug
+
+(** [None] = logging off. *)
+val set_level : level option -> unit
+
+val level : unit -> level option
+
+(** Accepted spellings for {!set_level}: off, error, warn, info, debug
+    (case-insensitive). *)
+val level_of_string : string -> level option option
+
+val level_name : level -> string
+
+(** True when a record at [lvl] would be kept — the inlined guard the
+    convenience wrappers use. *)
+val enabled : level -> unit -> bool
+
+(** [msg lvl ?fields thunk] records one structured line. [thunk] and
+    [fields] are forced only when [lvl] is enabled. Field values are
+    {!Trace.value}s so sites can share attribute builders with trace
+    spans. *)
+val msg :
+  level -> ?fields:(unit -> (string * Trace.value) list) -> (unit -> string) ->
+  unit
+
+val error : ?fields:(unit -> (string * Trace.value) list) -> (unit -> string) -> unit
+val warn : ?fields:(unit -> (string * Trace.value) list) -> (unit -> string) -> unit
+val info : ?fields:(unit -> (string * Trace.value) list) -> (unit -> string) -> unit
+val debug : ?fields:(unit -> (string * Trace.value) list) -> (unit -> string) -> unit
+
+(** Where {!flush} writes; default [stderr]. *)
+val set_sink : out_channel -> unit
+
+(** Drain every domain's buffer to the sink, merged in global sequence
+    order. Safe to call repeatedly; also registered [at_exit]. Flushing
+    while worker domains are actively logging can miss their in-flight
+    records (they stay buffered for the next flush) — call it at
+    quiescent points, as the exporters in {!Trace} do. *)
+val flush : unit -> unit
+
+(** Buffered-but-unflushed record count (for tests). *)
+val pending : unit -> int

@@ -1,0 +1,33 @@
+(** A minimal JSON reader for the observability toolchain — just enough
+    to parse what this repo's own emitters produce (telemetry report
+    cards, bench lines, post-mortem bundles) without an external
+    dependency. [omreport] and the telemetry tests are the consumers.
+
+    Numbers are kept as [float] (every number we emit fits); strings
+    support the standard JSON escapes, with non-BMP [u]-escape
+    surrogate pairs decoded to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Parse one complete JSON value; trailing non-whitespace is an error.
+    [Error msg] carries a character offset. *)
+val parse : string -> (t, string) result
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+
+(** @raise Failure when the key is missing or [t] is not an object. *)
+val member_exn : string -> t -> t
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_string : t -> string option
+val to_list : t -> t list option
+val obj_keys : t -> string list

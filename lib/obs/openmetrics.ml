@@ -1,0 +1,44 @@
+(* OpenMetrics text exposition — see openmetrics.mli. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let metric_name name = "omega_" ^ sanitize name
+
+let render samples =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, sample) ->
+      let m = metric_name name in
+      match sample with
+      | Metrics.Count n ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" m);
+          Buffer.add_string b (Printf.sprintf "%s_total %d\n" m n)
+      | Metrics.Hist h ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" m);
+          (* OpenMetrics buckets are cumulative; the registry stores
+             per-bucket counts with a final overflow cell. *)
+          let acc = ref 0 in
+          Array.iteri
+            (fun i c ->
+              acc := !acc + c;
+              let le =
+                if i < Array.length h.bounds then
+                  string_of_int h.bounds.(i)
+                else "+Inf"
+              in
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m le !acc))
+            h.counts;
+          Buffer.add_string b (Printf.sprintf "%s_sum %d\n" m h.sum);
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" m h.count))
+    samples;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let write oc samples = output_string oc (render samples)

@@ -1,0 +1,16 @@
+(** OpenMetrics / Prometheus text exposition over {!Metrics} snapshots,
+    so a future [omegad] can serve [/metrics] unchanged from the same
+    registry [omcount --metrics-out] dumps today.
+
+    Mapping: metric names are prefixed [omega_] and sanitized (every
+    char outside [[a-zA-Z0-9_:]] becomes [_]); a counter [x] becomes
+    [omega_x_total] with [# TYPE … counter]; a histogram becomes the
+    standard cumulative [_bucket{le="…"}] series (with the implicit
+    overflow bucket as [le="+Inf"]) plus [_sum] and [_count]. The dump
+    ends with [# EOF] per the OpenMetrics spec. *)
+
+(** Render a snapshot (as returned by {!Metrics.snapshot} or
+    {!Metrics.diff}) as one OpenMetrics text document. *)
+val render : (string * Metrics.sample) list -> string
+
+val write : out_channel -> (string * Metrics.sample) list -> unit

@@ -25,10 +25,7 @@ let on = Atomic.make false
 
 let enabled () = Atomic.get on
 
-let default_capacity =
-  match Sys.getenv_opt "OMEGA_TRACE_CAP" with
-  | Some s -> ( match int_of_string_opt s with Some n when n >= 16 -> n | _ -> 65536)
-  | None -> 65536
+let default_capacity = Envcfg.int_or "OMEGA_TRACE_CAP" ~min:16 ~default:65536
 
 let cap = Atomic.make default_capacity
 

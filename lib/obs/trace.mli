@@ -112,3 +112,7 @@ val write_chrome : out_channel -> unit
 (** Self-time-sorted span tree: per path, total and self microseconds and
     a hit count; siblings sorted by self time, descending. *)
 val pp_profile : Format.formatter -> unit -> unit
+
+(** JSON string-body escaping shared by the observability emitters
+    ({!Log}, [Counting.Instr], the CLIs). *)
+val json_escape : string -> string

@@ -108,7 +108,7 @@ let counters_to_fields c =
 
 (* Default on; OMEGA_MEMO=0 disables from the environment (bench and CI
    comparisons). Atomic so any domain observes a flip immediately. *)
-let enabled_flag = Atomic.make (Sys.getenv_opt "OMEGA_MEMO" <> Some "0")
+let enabled_flag = Atomic.make (Obs.Envcfg.bool_or "OMEGA_MEMO" ~default:true)
 let enabled () = Atomic.get enabled_flag
 let clearers_mu = Mutex.create ()
 let clearers : (unit -> unit) list ref = ref []

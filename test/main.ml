@@ -23,4 +23,5 @@ let () =
       Test_governor.suite;
       Test_gfcount.suite;
       Test_planner.suite;
+      Test_telemetry.suite;
     ]

@@ -95,11 +95,53 @@ let test_example4_gf_minor_words () =
        the generating-function path has regressed"
       words gf_ceiling
 
+(* Disabled telemetry and logging must add nothing to the measured
+   path: the compiled-in hooks (log-level check, flight-note sites,
+   telemetry sink check) are off by default and the E6 count must
+   allocate the same words as a build without them would — i.e. stay
+   under the same ceiling, even right after the observability stack has
+   been exercised and disarmed (proving disarming actually disarms, not
+   just that the features were never touched). Allocation counts are
+   deterministic, so the comparison against the plain run needs only a
+   whisker of slack for logger/teardown residue on this domain. *)
+let test_disabled_telemetry_zero_alloc () =
+  let saved_jobs = Counting.Pool.jobs () in
+  Counting.Pool.set_jobs 1;
+  Fun.protect ~finally:(fun () -> Counting.Pool.set_jobs saved_jobs)
+  @@ fun () ->
+  ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
+  Omega.Memo.clear_all ();
+  let before = Gc.minor_words () in
+  ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
+  let plain_words = Gc.minor_words () -. before in
+  (* exercise the stack, then turn everything off again *)
+  Obs.Log.set_level (Some Obs.Log.Debug);
+  Obs.Log.debug (fun () -> "alloc-guard warmup");
+  Obs.Log.flush ();
+  Obs.Log.set_level None;
+  Counting.Telemetry.set_file None;
+  Omega.Memo.clear_all ();
+  let before = Gc.minor_words () in
+  ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
+  let words = Gc.minor_words () -. before in
+  if words > ceiling then
+    Alcotest.failf
+      "Example 6 with disarmed telemetry allocated %.0f minor words \
+       (ceiling %.0f)"
+      words ceiling;
+  if words > plain_words +. 2_000. then
+    Alcotest.failf
+      "disarmed telemetry/logging added %.0f minor words over the plain run \
+       (%.0f vs %.0f): a disabled hook is allocating"
+      (words -. plain_words) words plain_words
+
 let suite =
   ( "alloc",
     [
       Alcotest.test_case "example6 minor-words ceiling" `Quick
         test_example6_minor_words;
+      Alcotest.test_case "example6 disabled-telemetry zero-alloc" `Quick
+        test_disabled_telemetry_zero_alloc;
       Alcotest.test_case "example4 gf-backend minor-words ceiling" `Quick
         test_example4_gf_minor_words;
     ] )
