@@ -1,0 +1,127 @@
+(* omcheck: replay-check certificate files emitted by `omcount --certify`
+   (and `bench --certify`). One JSONL certificate per line.
+
+   For each certificate the checker runs twice: once over exact
+   arbitrary-precision integers, once over native ints with overflow
+   traps. A native overflow is reported but is not a failure (the exact
+   verdict decides); any rejection by either backend fails the run.
+
+   Exit codes: 0 all certificates accepted; 1 at least one rejected;
+   2 usage / unreadable input. *)
+
+let verbose = ref false
+let quiet = ref false
+
+type totals = {
+  mutable certs : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable overflowed : int;  (* native-backend overflows (informational) *)
+  mutable refuted : int;
+  mutable gf_checked : int;
+  mutable gf_skipped : int;
+  mutable evals : int;
+}
+
+let t = {
+  certs = 0;
+  accepted = 0;
+  rejected = 0;
+  overflowed = 0;
+  refuted = 0;
+  gf_checked = 0;
+  gf_skipped = 0;
+  evals = 0;
+}
+
+let describe (s : Certcheck.summary) =
+  Printf.sprintf "%s %s: %d refuted witness%s, %d gf recounted (%d skipped)%s"
+    s.Certcheck.fingerprint s.status s.refuted_checked
+    (if s.refuted_checked = 1 then "" else "es")
+    s.gf_checked s.gf_skipped
+    (match s.evals with
+    | [] -> ""
+    | es ->
+        ", eval "
+        ^ String.concat "; "
+            (List.map
+               (fun (e : Certcheck.eval_entry) ->
+                 let b k = function Some v -> [ k ^ "=" ^ v ] | None -> [] in
+                 String.concat ","
+                   (b "value" e.value @ b "lower" e.lower @ b "upper" e.upper))
+               es))
+
+let check_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lineno = ref 0 in
+      try
+        while true do
+          let line = input_line ic in
+          incr lineno;
+          if String.trim line <> "" then begin
+            t.certs <- t.certs + 1;
+            let exact, native = Certcheck.check_line line in
+            (match native with
+            | Certcheck.Overflowed ->
+                t.overflowed <- t.overflowed + 1;
+                if !verbose then
+                  Printf.printf "%s:%d: native backend overflowed (exact verdict decides)\n"
+                    path !lineno
+            | Certcheck.Rejected m when exact <> native ->
+                (* Disagreement that is not an overflow is itself a bug. *)
+                t.rejected <- t.rejected + 1;
+                Printf.printf "%s:%d: REJECTED (native only): %s\n" path !lineno m
+            | _ -> ());
+            match exact with
+            | Certcheck.Accepted s ->
+                t.accepted <- t.accepted + 1;
+                t.refuted <- t.refuted + s.Certcheck.refuted_checked;
+                t.gf_checked <- t.gf_checked + s.Certcheck.gf_checked;
+                t.gf_skipped <- t.gf_skipped + s.Certcheck.gf_skipped;
+                t.evals <- t.evals + List.length s.Certcheck.evals;
+                if !verbose then Printf.printf "%s:%d: ok %s\n" path !lineno (describe s)
+            | Certcheck.Rejected m ->
+                t.rejected <- t.rejected + 1;
+                Printf.printf "%s:%d: REJECTED: %s\n" path !lineno m
+            | Certcheck.Overflowed ->
+                (* The exact backend cannot overflow; treat as rejection. *)
+                t.rejected <- t.rejected + 1;
+                Printf.printf "%s:%d: REJECTED: exact backend overflowed\n" path
+                  !lineno
+          end
+        done
+      with End_of_file -> ())
+
+let () =
+  let files = ref [] in
+  let spec =
+    [
+      ("--verbose", Arg.Set verbose, "  print one line per accepted certificate");
+      ("-v", Arg.Set verbose, "  same as --verbose");
+      ("--quiet", Arg.Set quiet, "  suppress the summary line");
+    ]
+  in
+  let usage = "omcheck [options] CERTS.jsonl..." in
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  match List.rev !files with
+  | [] ->
+      prerr_endline usage;
+      exit 2
+  | files -> (
+      (try List.iter check_file files
+       with Sys_error m ->
+         Printf.eprintf "omcheck: %s\n" m;
+         exit 2);
+      if not !quiet then
+        Printf.printf
+          "omcheck: %d certificate%s: %d accepted, %d rejected (%d refutation \
+           witnesses, %d gf recounts, %d gf skipped, %d evals, %d native \
+           overflows)\n"
+          t.certs
+          (if t.certs = 1 then "" else "s")
+          t.accepted t.rejected t.refuted t.gf_checked t.gf_skipped t.evals
+          t.overflowed;
+      if t.rejected > 0 then exit 1)

@@ -151,7 +151,7 @@ let print_explain_observed before =
     explain_keys
 
 let run query bindings strategy backend plan explain_plan merge stats ~budget
-    ~json =
+    ~json ~certify =
   let q = Preslang.parse_query query in
   let opts = { Counting.Engine.default with strategy; backend; plan } in
   let fingerprint =
@@ -213,6 +213,41 @@ let run query bindings strategy backend plan explain_plan merge stats ~budget
         ])
       (fun () -> "query done")
   in
+  (* --certify: arm the certificate recorder around the computation
+     (observational: the answer path never reads recorder state, so
+     certified answers are byte-identical), then assemble the
+     certificate after the answer is out and append it as one JSONL
+     line. Mirrors the telemetry-card flow. *)
+  let cert_recorded = ref None in
+  let with_cert compute =
+    match certify with
+    | None -> compute
+    | Some _ ->
+        fun () ->
+          let x, events, dropped = Counting.Certify.with_recording compute in
+          cert_recorded := Some (events, dropped);
+          x
+  in
+  let emit_cert outcome =
+    match certify with
+    | None -> ()
+    | Some path ->
+        let events, dropped =
+          match !cert_recorded with Some e -> e | None -> ([], 0)
+        in
+        let cert =
+          Counting.Certify.build ~opts ~vars:q.Preslang.vars
+            ~summand:q.Preslang.summand ~query
+            ~ats:(if bindings = [] then [] else [ bindings ])
+            ~outcome ~events ~dropped q.Preslang.formula
+        in
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Obs.Ojson.render cert);
+            output_char oc '\n')
+  in
   let explain_before =
     if explain_plan then begin
       (* One extra DNF pass to show the plan up front; the clauses are
@@ -233,10 +268,11 @@ let run query bindings strategy backend plan explain_plan merge stats ~budget
         (Counting.Engine.sum ~opts ~vars:q.Preslang.vars q.Preslang.formula
            q.Preslang.summand)
     in
-    let value, report = collect compute in
+    let value, report = collect (with_cert compute) in
     Printf.printf "%s\n" (Counting.Value.to_string value);
     print_eval_at bindings value;
     finish_explain ();
+    emit_cert (Counting.Certify.Complete value);
     emit_card ~outcome:Counting.Telemetry.Complete report;
     print_report (if stats then report else None)
   end
@@ -245,7 +281,7 @@ let run query bindings strategy backend plan explain_plan merge stats ~budget
       Counting.Governor.sum ~budget ~opts ~vars:q.Preslang.vars
         q.Preslang.formula q.Preslang.summand
     in
-    let outcome, report = collect compute in
+    let outcome, report = collect (with_cert compute) in
     match outcome with
     | Counting.Governor.Complete value ->
         let value = merged value in
@@ -255,6 +291,7 @@ let run query bindings strategy backend plan explain_plan merge stats ~budget
           print_eval_at bindings value
         end;
         finish_explain ();
+        emit_cert (Counting.Certify.Complete value);
         emit_card ~outcome:Counting.Telemetry.Complete report;
         print_report (if stats then report else None)
     | Counting.Governor.Partial p ->
@@ -280,6 +317,7 @@ let run query bindings strategy backend plan explain_plan merge stats ~budget
             | None -> "unknown")
         end;
         finish_explain ();
+        emit_cert (Counting.Certify.Partial p);
         emit_card
           ~outcome:
             (Counting.Telemetry.Partial
@@ -360,6 +398,7 @@ let () =
   let stats = ref false in
   let trace_file = ref None in
   let metrics_file = ref None in
+  let certify_file = ref None in
   let profile = ref false in
   let json = ref false in
   let deadline_ms = ref None in
@@ -432,6 +471,12 @@ let () =
         Arg.String (fun f -> trace_file := Some f),
         "FILE  record a hierarchical trace and write it to FILE as Chrome \
          trace-event JSON (open in Perfetto or chrome://tracing)" );
+      ( "--certify",
+        Arg.String (fun f -> certify_file := Some f),
+        "FILE  append one certificate JSON line per query to FILE \
+         (per-piece guards and summands, refutation witnesses, \
+         generating-function counts); replay it with omcheck; answers \
+         are byte-identical with or without this flag" );
       ( "--telemetry",
         Arg.String (fun f -> Counting.Telemetry.set_file (Some f)),
         "FILE  append one JSON report card per query to FILE \
@@ -516,7 +561,7 @@ let () =
         if !simplify then simplify_formula q !stats
         else
           run q !bindings !strategy !backend !plan !explain_plan !merge !stats
-            ~budget ~json:!json
+            ~budget ~json:!json ~certify:!certify_file
       with
       | Preslang.Parse_error (pos, msg) ->
           report_parse_error q pos msg;

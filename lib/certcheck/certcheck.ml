@@ -1,0 +1,883 @@
+(* Independent certificate checker. See certcheck.mli for the contract.
+   This file must stay free of lib/omega and lib/counting dependencies:
+   its whole value is that it shares no inference code with the engine
+   it audits. *)
+
+module J = Obs.Ojson
+
+exception Overflow
+
+module type INT = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_string : string -> t
+  val neg : t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val divmod : t -> t -> t * t
+  val compare : t -> t -> int
+  val to_string : t -> string
+end
+
+module IntZ : INT with type t = Zint.t = struct
+  type t = Zint.t
+
+  let zero = Zint.zero
+  let one = Zint.one
+  let of_int = Zint.of_int
+  let of_string = Zint.of_string
+  let neg = Zint.neg
+  let add = Zint.add
+  let sub = Zint.sub
+  let mul = Zint.mul
+  let divmod = Zint.fdiv_rem
+  let compare = Zint.compare
+  let to_string = Zint.to_string
+end
+
+module IntNative : INT with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let of_int n = n
+
+  let of_string s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None ->
+        (* A well-formed decimal literal that int_of_string cannot hold
+           is an overflow, not a malformed certificate. *)
+        let n = String.length s in
+        let i0 = if n > 0 && (s.[0] = '-' || s.[0] = '+') then 1 else 0 in
+        let digits = ref (n > i0) in
+        String.iteri
+          (fun i c -> if i >= i0 && not ('0' <= c && c <= '9') then digits := false)
+          s;
+        if !digits then raise Overflow else failwith ("int literal: " ^ s)
+
+  let neg a = if a = min_int then raise Overflow else -a
+
+  let add a b =
+    let c = a + b in
+    if a >= 0 = (b >= 0) && c >= 0 <> (a >= 0) then raise Overflow else c
+
+  let sub a b = add a (neg b)
+
+  let mul a b =
+    if a = 0 || b = 0 then 0
+    else if (a = min_int && b = -1) || (b = min_int && a = -1) then raise Overflow
+    else
+      let c = a * b in
+      if c / b <> a then raise Overflow else c
+
+  let divmod a b =
+    if b = 0 then failwith "divmod: zero divisor"
+    else if a = min_int && b = -1 then raise Overflow
+    else
+      let q = a / b and r = a mod b in
+      if (r > 0 && b < 0) || (r < 0 && b > 0) then (q - 1, r + b) else (q, r)
+
+  let compare = Int.compare
+  let to_string = string_of_int
+end
+
+type eval_entry = {
+  at : (string * string) list;
+  value : string option;
+  lower : string option;
+  upper : string option;
+}
+
+type summary = {
+  fingerprint : string;
+  status : string;
+  evals : eval_entry list;
+  refuted_checked : int;
+  gf_checked : int;
+  gf_skipped : int;
+}
+
+type verdict = Accepted of summary | Rejected of string | Overflowed
+
+let m_checked = Obs.Metrics.counter "cert.checked"
+let m_rejected = Obs.Metrics.counter "cert.rejected"
+
+(* Caps: the checker must terminate on adversarial input. [max_scan]
+   mirrors the engine evaluator's conjunct-window cap; [fuel_budget]
+   bounds total guard-decision work per certificate. *)
+let max_scan = 100_000
+let enum_case_cap = 10_000
+let gf_volume_cap = 20_000
+let fuel_budget = 2_000_000
+
+exception Reject of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+module Make (I : INT) = struct
+  let z0 = I.zero
+  let z1 = I.one
+  let is0 a = I.compare a z0 = 0
+  let lt a b = I.compare a b < 0
+  let le a b = I.compare a b <= 0
+  let iabs a = if lt a z0 then I.neg a else a
+  let imin a b = if le a b then a else b
+  let imax a b = if le a b then b else a
+  let fdiv a b = fst (I.divmod a b)
+  let fmod a b = snd (I.divmod a b)
+
+  (* ⌈a/b⌉ for any nonzero b. *)
+  let cdiv a b = I.neg (fdiv (I.neg a) b)
+
+  let rec gcd_i a b = if is0 b then a else gcd_i b (fmod a b)
+  let gcd a b = gcd_i (iabs a) (iabs b)
+
+  let lcm a b =
+    if is0 a || is0 b then z0 else fdiv (I.mul (iabs a) (iabs b)) (gcd a b)
+
+  (* [m | x], with the m = 0 convention m | x ⇔ x = 0. *)
+  let divides m x = if is0 m then is0 x else is0 (fmod x (iabs m))
+
+  (* ---------------------------------------------------------------- *)
+  (* JSON access *)
+
+  let memb k j = match J.member k j with Some v -> v | None -> fail "missing field %S" k
+  let get_str = function J.Str s -> s | _ -> fail "expected string"
+  let get_arr = function J.Arr l -> l | _ -> fail "expected array"
+
+  let get_int = function
+    | J.Num f when Float.is_integer f && Float.abs f < 1e15 -> int_of_float f
+    | _ -> fail "expected small integer"
+
+  let get_z j = I.of_string (get_str j)
+
+  (* ---------------------------------------------------------------- *)
+  (* Rows and clauses *)
+
+  (* A row is c + Σ aᵢ·vᵢ; [rt] holds no zero coefficients. *)
+  type row = { rc : I.t; rt : (string * I.t) list }
+
+  let row_zero = { rc = z0; rt = [] }
+  let row_coeff r v = match List.assoc_opt v r.rt with Some a -> a | None -> z0
+
+  let rt_put t v a =
+    let a = I.add (match List.assoc_opt v t with Some b -> b | None -> z0) a in
+    let t = List.remove_assoc v t in
+    if is0 a then t else (v, a) :: t
+
+  let row_add r1 r2 =
+    {
+      rc = I.add r1.rc r2.rc;
+      rt = List.fold_left (fun t (v, a) -> rt_put t v a) r1.rt r2.rt;
+    }
+
+  let row_scale l r =
+    if is0 l then row_zero
+    else { rc = I.mul l r.rc; rt = List.map (fun (v, a) -> (v, I.mul l a)) r.rt }
+
+  let row_subst r v x =
+    match List.assoc_opt v r.rt with
+    | None -> r
+    | Some a -> { rc = I.add r.rc (I.mul a x); rt = List.remove_assoc v r.rt }
+
+  let parse_row j =
+    let c = get_z (memb "c" j) in
+    let terms =
+      List.map
+        (fun e ->
+          match get_arr e with
+          | [ v; a ] -> (get_str v, get_z a)
+          | _ -> fail "bad row term")
+        (get_arr (memb "t" j))
+    in
+    List.fold_left (fun r (v, a) -> row_add r { rc = z0; rt = [ (v, a) ] })
+      { rc = c; rt = [] } terms
+
+  type clause = {
+    cwilds : string list;
+    ceqs : row list;
+    cgeqs : row list;
+    cstrides : (I.t * row) list;
+  }
+
+  let parse_clause j =
+    {
+      cwilds = List.map get_str (get_arr (memb "wilds" j));
+      ceqs = List.map parse_row (get_arr (memb "eqs" j));
+      cgeqs = List.map parse_row (get_arr (memb "geqs" j));
+      cstrides =
+        List.map
+          (fun e ->
+            match get_arr e with
+            | [ m; r ] -> (get_z m, parse_row r)
+            | _ -> fail "bad stride")
+          (get_arr (memb "strides" j));
+    }
+
+  (* ---------------------------------------------------------------- *)
+  (* Fuel *)
+
+  let fuel = ref 0
+
+  let tick () =
+    decr fuel;
+    if !fuel < 0 then fail "guard-decision budget exhausted"
+
+  (* ---------------------------------------------------------------- *)
+  (* Witness verification *)
+
+  let nth_row what l i =
+    match List.nth_opt l i with
+    | Some r -> r
+    | None -> fail "%s row index %d out of range" what i
+
+  let parse_comb j =
+    List.map
+      (fun e ->
+        match get_arr e with
+        | [ k; i; l ] -> (
+            let idx = get_int i in
+            let lam = get_z l in
+            match get_str k with
+            | "eq" -> (`Eq idx, lam)
+            | "geq" -> (`Geq idx, lam)
+            | s -> fail "bad row kind %S in combination" s)
+        | _ -> fail "bad combination entry")
+      (get_arr j)
+
+  (* Sum λᵢ·rowᵢ, enforcing λ ≥ 0 on inequality rows. *)
+  let comb_row cl comb =
+    if comb = [] then fail "empty combination";
+    List.fold_left
+      (fun acc (ref, lam) ->
+        let r =
+          match ref with
+          | `Eq i -> nth_row "eq" cl.ceqs i
+          | `Geq i ->
+              if lt lam z0 then fail "negative multiplier on inequality row";
+              nth_row "geq" cl.cgeqs i
+        in
+        row_add acc (row_scale lam r))
+      row_zero comb
+
+  let rec check_witness cl wj =
+    tick ();
+    match get_str (memb "kind" wj) with
+    | "farkas" ->
+        let r = comb_row cl (parse_comb (memb "lambda" wj)) in
+        if r.rt <> [] then fail "farkas: variable coefficients do not cancel";
+        if not (lt r.rc z0) then
+          fail "farkas: combined constant %s is not negative" (I.to_string r.rc)
+    | "stride_gap" -> (
+        let idx = get_int (memb "idx" wj) in
+        match get_str (memb "row" wj) with
+        | "eq" ->
+            let r = nth_row "eq" cl.ceqs idx in
+            let g = List.fold_left (fun g (_, a) -> gcd g a) z0 r.rt in
+            if divides g r.rc then
+              fail "stride_gap: eq row %d has no coefficient gap" idx
+        | "stride" ->
+            let m, r = nth_row "stride" cl.cstrides idx in
+            let g = List.fold_left (fun g (_, a) -> gcd g a) (iabs m) r.rt in
+            if divides g r.rc then
+              fail "stride_gap: stride row %d has no residue gap" idx
+        | s -> fail "stride_gap: bad row kind %S" s)
+    | "enum" ->
+        let v = get_str (memb "var" wj) in
+        let lo = get_z (memb "lo" wj) in
+        let hi = get_z (memb "hi" wj) in
+        let lo_r = comb_row cl (parse_comb (memb "lo_comb" wj)) in
+        let hi_r = comb_row cl (parse_comb (memb "hi_comb" wj)) in
+        (match lo_r.rt with
+        | [ (u, a) ] when u = v && lt z0 a ->
+            let derived = cdiv (I.neg lo_r.rc) a in
+            if I.compare derived lo <> 0 then
+              fail "enum: lower bound %s does not match derived %s"
+                (I.to_string lo) (I.to_string derived)
+        | _ -> fail "enum: lo_comb does not isolate %s with a positive coefficient" v);
+        (match hi_r.rt with
+        | [ (u, a) ] when u = v && lt a z0 ->
+            let derived = fdiv hi_r.rc (I.neg a) in
+            if I.compare derived hi <> 0 then
+              fail "enum: upper bound %s does not match derived %s"
+                (I.to_string hi) (I.to_string derived)
+        | _ -> fail "enum: hi_comb does not isolate %s with a negative coefficient" v);
+        let cases = get_arr (memb "cases" wj) in
+        if I.compare lo hi > 0 then begin
+          (* Integer gap: the rational interval holds no integer. *)
+          if cases <> [] then fail "enum: integer gap must carry no cases"
+        end
+        else begin
+          let width = I.add (I.sub hi lo) z1 in
+          if I.compare width (I.of_int enum_case_cap) > 0 then
+            fail "enum: interval wider than case cap";
+          let subst_clause x =
+            {
+              cl with
+              ceqs = List.map (fun r -> row_subst r v x) cl.ceqs;
+              cgeqs = List.map (fun r -> row_subst r v x) cl.cgeqs;
+              cstrides =
+                List.map (fun (m, r) -> (m, row_subst r v x)) cl.cstrides;
+            }
+          in
+          let rec go x cases =
+            if I.compare x hi > 0 then begin
+              if cases <> [] then fail "enum: more cases than interval points"
+            end
+            else
+              match cases with
+              | [] -> fail "enum: missing case for %s = %s" v (I.to_string x)
+              | c :: rest ->
+                  check_witness (subst_clause x) c;
+                  go (I.add x z1) rest
+          in
+          go lo cases
+        end
+    | k -> fail "unknown witness kind %S" k
+
+  (* ---------------------------------------------------------------- *)
+  (* Guard decision: does the clause hold at [env] (∃ wilds)?           *)
+
+  let eval1 w r x = I.add r.rc (I.mul (row_coeff r w) x)
+
+  let holds_at w (eqs, geqs, strs) x =
+    tick ();
+    List.for_all (fun r -> is0 (eval1 w r x)) eqs
+    && List.for_all (fun r -> le z0 (eval1 w r x)) geqs
+    && List.for_all (fun (m, r) -> divides m (eval1 w r x)) strs
+
+  let rec any_in f lo hi =
+    I.compare lo hi <= 0 && (f lo || any_in f (I.add lo z1) hi)
+
+  (* ∃w over rows univariate in w — exact: an equality pins w, else a
+     bounds-plus-stride-period window scan. *)
+  let decide_single w (eqs, geqs, strs) =
+    match eqs with
+    | r :: _ ->
+        let a = row_coeff r w in
+        let q, rem = I.divmod (I.neg r.rc) a in
+        is0 rem && holds_at w (eqs, geqs, strs) q
+    | [] ->
+        let lo =
+          List.fold_left
+            (fun acc r ->
+              let a = row_coeff r w in
+              if lt z0 a then
+                let b = cdiv (I.neg r.rc) a in
+                Some (match acc with Some l -> imax l b | None -> b)
+              else acc)
+            None geqs
+        and hi =
+          List.fold_left
+            (fun acc r ->
+              let a = row_coeff r w in
+              if lt a z0 then
+                let b = fdiv r.rc (I.neg a) in
+                Some (match acc with Some h -> imin h b | None -> b)
+              else acc)
+            None geqs
+        in
+        let period =
+          List.fold_left
+            (fun p (m, r) ->
+              if is0 m then fail "zero stride modulus";
+              let a = row_coeff r w in
+              let contrib = fdiv (iabs m) (gcd a m) in
+              let p = lcm p contrib in
+              if I.compare p (I.of_int max_scan) > 0 then
+                fail "stride period exceeds scan cap";
+              p)
+            z1 strs
+        in
+        let scan l h = any_in (holds_at w (eqs, geqs, strs)) l h in
+        let pm1 = I.sub period z1 in
+        (match (lo, hi) with
+        | Some l, Some h ->
+            I.compare l h <= 0 && scan l (imin h (I.add l pm1))
+        | Some l, None -> scan l (I.add l pm1)
+        | None, Some h -> scan (I.sub h pm1) h
+        | None, None -> scan z0 pm1)
+
+  let row_mentions w r = List.mem_assoc w r.rt
+
+  let rec sat wilds eqs geqs strs =
+    tick ();
+    (* Constant rows decide immediately. *)
+    let ceq, eqs = List.partition (fun r -> r.rt = []) eqs in
+    let cgeq, geqs = List.partition (fun r -> r.rt = []) geqs in
+    let cstr, strs = List.partition (fun (_, r) -> r.rt = []) strs in
+    List.for_all (fun r -> is0 r.rc) ceq
+    && List.for_all (fun r -> le z0 r.rc) cgeq
+    && List.for_all (fun (m, r) -> divides m r.rc) cstr
+    &&
+    if eqs = [] && geqs = [] && strs = [] then true
+    else
+      let mentions w =
+        List.exists (row_mentions w) eqs
+        || List.exists (row_mentions w) geqs
+        || List.exists (fun (_, r) -> row_mentions w r) strs
+      in
+      let ws = List.filter mentions wilds in
+      if ws = [] then fail "guard references an unbound variable"
+      else
+        (* Prefer a wild whose rows involve no other wild: its ∃
+           factors out and is decided exactly. *)
+        let univariate w r = match r.rt with [ (u, _) ] -> u = w | _ -> false in
+        let uncoupled w =
+          List.for_all (fun r -> (not (row_mentions w r)) || univariate w r) eqs
+          && List.for_all
+               (fun r -> (not (row_mentions w r)) || univariate w r)
+               geqs
+          && List.for_all
+               (fun (_, r) -> (not (row_mentions w r)) || univariate w r)
+               strs
+        in
+        match List.find_opt uncoupled ws with
+        | Some w ->
+            let meq, oeq = List.partition (row_mentions w) eqs in
+            let mgeq, ogeq = List.partition (row_mentions w) geqs in
+            let mstr, ostr =
+              List.partition (fun (_, r) -> row_mentions w r) strs
+            in
+            decide_single w (meq, mgeq, mstr)
+            && sat (List.filter (fun u -> u <> w) ws) oeq ogeq ostr
+        | None ->
+            (* Coupled: enumerate one wild over its tightest
+               single-variable window, box fallback like the engine's
+               evaluator. *)
+            let window w =
+              (* One-variable rows on w give a rational interval;
+                 equalities bound both sides. *)
+              let dirs =
+                geqs @ eqs @ List.map (fun r -> row_scale (I.neg z1) r) eqs
+              in
+              let bound merge take =
+                List.fold_left
+                  (fun acc r ->
+                    if univariate w r then
+                      match take r with
+                      | Some b ->
+                          Some (match acc with Some c -> merge c b | None -> b)
+                      | None -> acc
+                    else acc)
+                  None dirs
+              in
+              let lo_of r =
+                let a = row_coeff r w in
+                if lt z0 a then Some (cdiv (I.neg r.rc) a) else None
+              and hi_of r =
+                let a = row_coeff r w in
+                if lt a z0 then Some (fdiv r.rc (I.neg a)) else None
+              in
+              match (bound imax lo_of, bound imin hi_of) with
+              | Some l, Some h -> Some (w, l, h)
+              | _ -> None
+            in
+            let cands = List.filter_map window ws in
+            let w, l, h =
+              match cands with
+              | [] -> (List.hd ws, I.of_int (-256), I.of_int 256)
+              | c :: rest ->
+                  List.fold_left
+                    (fun ((_, l, h) as best) ((_, l', h') as c') ->
+                      if lt (I.sub h' l') (I.sub h l) then c' else best)
+                    c rest
+            in
+            let width = I.add (I.sub h l) z1 in
+            if I.compare width (I.of_int max_scan) > 0 then
+              fail "guard window exceeds scan cap";
+            let subst_all x =
+              ( List.map (fun r -> row_subst r w x) eqs,
+                List.map (fun r -> row_subst r w x) geqs,
+                List.map (fun (m, r) -> (m, row_subst r w x)) strs )
+            in
+            any_in
+              (fun x ->
+                let e, g, s = subst_all x in
+                sat (List.filter (fun u -> u <> w) ws) e g s)
+              l h
+
+  let guard_holds env cl =
+    let sub r = List.fold_left (fun r (v, x) -> row_subst r v x) r env in
+    let eqs = List.map sub cl.ceqs in
+    let geqs = List.map sub cl.cgeqs in
+    let strs = List.map (fun (m, r) -> (m, sub r)) cl.cstrides in
+    let check_bound r =
+      List.iter
+        (fun (v, _) ->
+          if not (List.mem v cl.cwilds) then
+            fail "guard references unbound variable %s" v)
+        r.rt
+    in
+    List.iter check_bound eqs;
+    List.iter check_bound geqs;
+    List.iter (fun (_, r) -> check_bound r) strs;
+    sat cl.cwilds eqs geqs strs
+
+  (* ---------------------------------------------------------------- *)
+  (* Rationals and polynomial evaluation *)
+
+  type rat = { n : I.t; d : I.t }  (* d > 0, reduced *)
+
+  let mk_rat n d =
+    if is0 d then fail "zero denominator";
+    let n, d = if lt d z0 then (I.neg n, I.neg d) else (n, d) in
+    let g = gcd n d in
+    if is0 g then { n = z0; d = z1 } else { n = fdiv n g; d = fdiv d g }
+
+  let rof n = { n; d = z1 }
+  let radd a b = mk_rat (I.add (I.mul a.n b.d) (I.mul b.n a.d)) (I.mul a.d b.d)
+  let rmul a b = mk_rat (I.mul a.n b.n) (I.mul a.d b.d)
+
+  let rint r =
+    if I.compare r.d z1 = 0 then r.n else fail "non-integral rational value"
+
+  let parse_q j =
+    match get_arr j with
+    | [ n; d ] -> mk_rat (get_z n) (get_z d)
+    | _ -> fail "bad rational"
+
+  let ipow b e =
+    if e < 0 then fail "negative exponent";
+    if e > 64 then fail "exponent exceeds cap";
+    let rec go acc i = if i = 0 then acc else go (I.mul acc b) (i - 1) in
+    go z1 e
+
+  (* An atom is a variable or ⌊linear form⌋ mod m. *)
+  let eval_atom env j =
+    match J.member "v" j with
+    | Some v -> (
+        let name = get_str v in
+        match List.assoc_opt name env with
+        | Some x -> x
+        | None -> fail "summand references unbound variable %s" name)
+    | None -> (
+        match J.member "mod" j with
+        | Some mj ->
+            let terms = get_arr (memb "t" mj) in
+            let k = parse_q (memb "k" mj) in
+            let m = get_z (memb "m" mj) in
+            if not (lt z0 m) then fail "mod atom: modulus must be positive";
+            let lin =
+              List.fold_left
+                (fun acc e ->
+                  match get_arr e with
+                  | [ v; q ] -> (
+                      let name = get_str v in
+                      match List.assoc_opt name env with
+                      | Some x -> radd acc (rmul (parse_q q) (rof x))
+                      | None ->
+                          fail "mod atom references unbound variable %s" name)
+                  | _ -> fail "bad mod atom term")
+                k terms
+            in
+            fmod (rint lin) m
+        | None -> fail "unknown atom")
+
+  let eval_poly env j =
+    List.fold_left
+      (fun acc mono ->
+        let q = parse_q (memb "q" mono) in
+        let atoms = get_arr (memb "m" mono) in
+        let v =
+          List.fold_left
+            (fun acc e ->
+              match get_arr e with
+              | [ a; p ] -> rmul acc (rof (ipow (eval_atom env a) (get_int p)))
+              | _ -> fail "bad monomial factor")
+            q atoms
+        in
+        radd acc v)
+      (rof z0) (get_arr j)
+
+  type piece = { guard : clause; value : J.t }
+
+  let parse_piece j =
+    { guard = parse_clause (memb "guard" j); value = memb "value" j }
+
+  let total env pieces =
+    rint
+      (List.fold_left
+         (fun acc p ->
+           if guard_holds env p.guard then radd acc (eval_poly env p.value)
+           else acc)
+         (rof z0) pieces)
+
+  (* ---------------------------------------------------------------- *)
+  (* Generating-function replay: bounded re-count of a counted clause. *)
+
+  let replay_gf j =
+    let vars = List.map get_str (get_arr (memb "vars" j)) in
+    let cl = parse_clause (memb "clause" j) in
+    let claimed = get_z (memb "count" j) in
+    let all_rows = cl.ceqs @ cl.cgeqs @ List.map snd cl.cstrides in
+    let covered =
+      cl.cwilds = []
+      && List.for_all
+           (fun r -> List.for_all (fun (v, _) -> List.mem v vars) r.rt)
+           all_rows
+    in
+    if not covered then `Skipped
+    else begin
+      (* Directed interval propagation to a fixed pass count. *)
+      let dirs =
+        cl.cgeqs @ cl.ceqs @ List.map (fun r -> row_scale (I.neg z1) r) cl.ceqs
+      in
+      let bounds = Hashtbl.create 8 in
+      List.iter (fun v -> Hashtbl.replace bounds v (None, None)) vars;
+      let term_max (u, b) =
+        let lo, hi = Hashtbl.find bounds u in
+        if lt z0 b then Option.map (I.mul b) hi else Option.map (I.mul b) lo
+      in
+      let passes = (3 * List.length vars) + 3 in
+      for _ = 1 to passes do
+        List.iter
+          (fun r ->
+            List.iter
+              (fun (v, a) ->
+                let rest = List.filter (fun (u, _) -> u <> v) r.rt in
+                let s =
+                  List.fold_left
+                    (fun acc t ->
+                      match (acc, term_max t) with
+                      | Some acc, Some m -> Some (I.add acc m)
+                      | _ -> None)
+                    (Some r.rc) rest
+                in
+                match s with
+                | None -> ()
+                | Some s ->
+                    (* a·v ≥ −s *)
+                    let lo, hi = Hashtbl.find bounds v in
+                    if lt z0 a then
+                      let b = cdiv (I.neg s) a in
+                      let lo' =
+                        Some (match lo with Some l -> imax l b | None -> b)
+                      in
+                      Hashtbl.replace bounds v (lo', hi)
+                    else
+                      let b = fdiv s (I.neg a) in
+                      let hi' =
+                        Some (match hi with Some h -> imin h b | None -> b)
+                      in
+                      Hashtbl.replace bounds v (lo, hi'))
+              r.rt)
+          dirs
+      done;
+      let boxes =
+        List.map
+          (fun v ->
+            match Hashtbl.find bounds v with
+            | Some l, Some h -> Some (v, l, h)
+            | _ -> None)
+          vars
+      in
+      if List.exists (fun b -> b = None) boxes then `Skipped
+      else
+        let boxes = List.filter_map (fun b -> b) boxes in
+        let cap = I.of_int gf_volume_cap in
+        let volume =
+          List.fold_left
+            (fun acc (_, l, h) ->
+              match acc with
+              | None -> None
+              | Some acc ->
+                  let w = I.add (I.sub h l) z1 in
+                  if lt w z0 then Some z0
+                  else if I.compare w cap > 0 then None
+                  else
+                    let v = I.mul acc w in
+                    if I.compare v cap > 0 then None else Some v)
+            (Some z1) boxes
+        in
+        match volume with
+        | None -> `Skipped
+        | Some _ ->
+            let count = ref z0 in
+            let sat_at env =
+              tick ();
+              List.for_all
+                (fun r ->
+                  is0 (List.fold_left (fun a (v, c) ->
+                           I.add a (I.mul c (List.assoc v env))) r.rc r.rt))
+                cl.ceqs
+              && List.for_all
+                   (fun r ->
+                     le z0
+                       (List.fold_left (fun a (v, c) ->
+                            I.add a (I.mul c (List.assoc v env))) r.rc r.rt))
+                   cl.cgeqs
+              && List.for_all
+                   (fun (m, r) ->
+                     divides m
+                       (List.fold_left (fun a (v, c) ->
+                            I.add a (I.mul c (List.assoc v env))) r.rc r.rt))
+                   cl.cstrides
+            in
+            let rec go env = function
+              | [] -> if sat_at env then count := I.add !count z1
+              | (v, l, h) :: rest ->
+                  let rec loop x =
+                    if le x h then begin
+                      go ((v, x) :: env) rest;
+                      loop (I.add x z1)
+                    end
+                  in
+                  loop l
+            in
+            go [] boxes;
+            if I.compare !count claimed <> 0 then
+              fail "gf count mismatch: claimed %s, recount %s"
+                (I.to_string claimed) (I.to_string !count)
+            else `Checked
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Top level *)
+
+  let check_exn j =
+    fuel := fuel_budget;
+    (match j with J.Obj _ -> () | _ -> fail "certificate must be an object");
+    let schema = get_str (memb "schema" j) in
+    if schema <> "omegacount.cert.v1" then fail "unsupported schema %S" schema;
+    let fingerprint =
+      match J.member "fingerprint" j with Some (J.Str s) -> s | _ -> ""
+    in
+    let status = get_str (memb "status" j) in
+    if status <> "complete" && status <> "partial" then
+      fail "bad status %S" status;
+    let pieces = List.map parse_piece (get_arr (memb "pieces" j)) in
+    let upper_pieces =
+      match J.member "upper_pieces" j with
+      | None | Some J.Null -> None
+      | Some v -> Some (List.map parse_piece (get_arr v))
+    in
+    let lower_sound =
+      match J.member "lower_sound" j with
+      | Some (J.Bool b) -> b
+      | None -> status = "complete"
+      | Some _ -> fail "lower_sound must be a boolean"
+    in
+    let refuted =
+      match J.member "refuted" j with
+      | None -> []
+      | Some v -> get_arr v
+    in
+    List.iteri
+      (fun i e ->
+        let site =
+          match J.member "site" e with Some (J.Str s) -> s | _ -> "?"
+        in
+        let cl = parse_clause (memb "clause" e) in
+        try check_witness cl (memb "witness" e)
+        with Reject m -> fail "refuted[%d] at %s: %s" i site m)
+      refuted;
+    let refuted_checked = List.length refuted in
+    let gf = match J.member "gf" j with None -> [] | Some v -> get_arr v in
+    let gf_checked = ref 0 and gf_skipped = ref 0 in
+    List.iteri
+      (fun i e ->
+        match
+          try replay_gf e with Reject m -> fail "gf[%d]: %s" i m
+        with
+        | `Checked -> incr gf_checked
+        | `Skipped -> incr gf_skipped)
+      gf;
+    let evals =
+      List.map
+        (fun e ->
+          let at =
+            List.map
+              (fun b ->
+                match get_arr b with
+                | [ n; v ] -> (get_str n, get_str v)
+                | _ -> fail "bad eval binding")
+              (get_arr (memb "at" e))
+          in
+          let env = List.map (fun (n, v) -> (n, I.of_string v)) at in
+          let claim_eq what claimed derived =
+            if I.compare claimed derived <> 0 then
+              fail "eval %s mismatch: claimed %s, derived %s" what
+                (I.to_string claimed) (I.to_string derived)
+          in
+          if status = "complete" then begin
+            let claimed = get_z (memb "value" e) in
+            let derived = total env pieces in
+            claim_eq "value" claimed derived;
+            {
+              at;
+              value = Some (I.to_string derived);
+              lower = None;
+              upper = None;
+            }
+          end
+          else begin
+            let lower =
+              match J.member "lower" e with
+              | None | Some J.Null -> None
+              | Some v ->
+                  if not lower_sound then
+                    fail "partial eval claims a lower bound without lower_sound";
+                  let claimed = I.of_string (get_str v) in
+                  let derived = total env pieces in
+                  claim_eq "lower" claimed derived;
+                  Some (I.to_string derived)
+            in
+            let upper =
+              match J.member "upper" e with
+              | None | Some J.Null -> None
+              | Some v -> (
+                  match upper_pieces with
+                  | None ->
+                      fail "partial eval claims an upper bound without upper_pieces"
+                  | Some ups ->
+                      let claimed = I.of_string (get_str v) in
+                      let derived = total env ups in
+                      claim_eq "upper" claimed derived;
+                      Some (I.to_string derived))
+            in
+            { at; value = None; lower; upper }
+          end)
+        (match J.member "eval" j with None -> [] | Some v -> get_arr v)
+    in
+    {
+      fingerprint;
+      status;
+      evals;
+      refuted_checked;
+      gf_checked = !gf_checked;
+      gf_skipped = !gf_skipped;
+    }
+
+  let check j =
+    Obs.Metrics.incr m_checked;
+    match check_exn j with
+    | s -> Accepted s
+    | exception Overflow -> Overflowed
+    | exception Reject m ->
+        Obs.Metrics.incr m_rejected;
+        Rejected m
+    | exception e ->
+        Obs.Metrics.incr m_rejected;
+        Rejected ("checker error: " ^ Printexc.to_string e)
+end
+
+module Exact = Make (IntZ)
+module Native = Make (IntNative)
+
+let check_exact = Exact.check
+let check_native = Native.check
+
+let check_line s =
+  match J.parse s with
+  | Ok j -> (check_exact j, check_native j)
+  | Error e ->
+      Obs.Metrics.incr m_checked;
+      Obs.Metrics.incr m_rejected;
+      let r = Rejected ("json: " ^ e) in
+      (r, r)

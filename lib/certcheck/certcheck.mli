@@ -1,0 +1,107 @@
+(** Independent certificate checker.
+
+    This module re-derives a query's answer from its certificate alone
+    and accepts or rejects it, without touching any solver internals: it
+    depends only on {!Obs.Ojson} (to read the certificate) and {!Zint}
+    (to instantiate the exact backend). Everything it believes about a
+    query, it verifies from the certificate's own rows:
+
+    - every [refuted] entry's witness is replayed step by step (Farkas
+      combinations summed and sign-checked, stride gaps re-divided,
+      enum intervals re-derived from their combinations and every case
+      recursively checked);
+    - every [gf] entry is re-counted by bounded enumeration when the
+      clause's box fits under a volume cap (skipped, not trusted,
+      otherwise);
+    - every [eval] entry's total is re-computed by deciding each
+      piece's guard at the bindings (including an exact single-wildcard
+      ∃-decision and the same bounded-box fallback the engine's
+      evaluator documents) and summing the piece polynomials with
+      checker-local rational arithmetic.
+
+    The checker is functorized over a minimal integer signature
+    ({!INT}) — the first step of the ROADMAP's arithmetic
+    functorization. {!IntZ} instantiates it at {!Zint} (exact);
+    {!IntNative} at native [int] with overflow traps, so
+    small-coefficient certificates can be checked at native speed and a
+    trapped {!Overflow} downgrades the verdict to {!Overflowed} rather
+    than a wrong acceptance.
+
+    The trusted base is this module plus the {!Obs.Ojson} parser —
+    nothing in [lib/omega] or [lib/counting] is. *)
+
+(** Minimal abstract-integer signature the checker needs. *)
+module type INT = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+
+  (** May raise {!Overflow} (value unrepresentable) or [Failure]
+      (malformed literal). *)
+  val of_string : string -> t
+
+  val neg : t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+
+  (** Floor division: [divmod a b = (q, r)] with [a = q·b + r] and
+      [0 ≤ r < |b|]. The divisor is nonzero. *)
+  val divmod : t -> t -> t * t
+
+  val compare : t -> t -> int
+  val to_string : t -> string
+end
+
+(** Raised by overflow-trapping backends; {!Make.check} maps it to
+    {!Overflowed}. *)
+exception Overflow
+
+(** Exact arithmetic over {!Zint}. Never overflows. *)
+module IntZ : INT with type t = Zint.t
+
+(** Native [int] with overflow traps on every operation. *)
+module IntNative : INT with type t = int
+
+(** One re-derived evaluation point. String-typed so callers can
+    compare against any oracle without importing the checker's
+    arithmetic. *)
+type eval_entry = {
+  at : (string * string) list;  (** the bindings, as given *)
+  value : string option;  (** complete: the re-derived total *)
+  lower : string option;  (** partial: re-derived sound lower bound *)
+  upper : string option;  (** partial: re-derived relaxation upper *)
+}
+
+type summary = {
+  fingerprint : string;
+  status : string;  (** ["complete"] or ["partial"] *)
+  evals : eval_entry list;
+  refuted_checked : int;
+  gf_checked : int;
+  gf_skipped : int;  (** gf entries whose box exceeded the volume cap *)
+}
+
+type verdict =
+  | Accepted of summary
+  | Rejected of string  (** first verification failure, human-readable *)
+  | Overflowed  (** arithmetic left the backend's range; not a verdict
+                    on the certificate — retry with {!IntZ} *)
+
+module Make (_ : INT) : sig
+  (** Check one parsed certificate object. Never raises: malformed
+      input is [Rejected], backend overflow is [Overflowed]. Increments
+      [cert.checked], and [cert.rejected] on rejection. *)
+  val check : Obs.Ojson.t -> verdict
+end
+
+(** [Make (IntZ)] / [Make (IntNative)], pre-applied. *)
+val check_exact : Obs.Ojson.t -> verdict
+
+val check_native : Obs.Ojson.t -> verdict
+
+(** Parse a JSONL line and check it with both backends:
+    [(exact, native)]. A parse error rejects both. *)
+val check_line : string -> verdict * verdict

@@ -233,9 +233,12 @@ let rec go opts ord stats vars poly (clause : C.t) fuel : Value.t =
   if Qpoly.is_zero poly then []
   else
     match C.normalize clause with
-    | None -> []
+    | None ->
+        if Cert.armed () then Cert.record_refuted Cert.Subtree (C.snapshot clause);
+        []
     | Some clause when prune_refuted opts clause ->
         Obs.Metrics.incr m_pruned_subtrees;
+        if Cert.armed () then Cert.record_refuted Cert.Subtree (C.snapshot clause);
         []
     | Some clause -> begin
         match find_eq_sumvar vars clause with
@@ -607,6 +610,10 @@ let run_clause opts stats vs poly c =
         match Gfcount.count_clause ~vars:vs c with
         | Some n ->
             Obs.Metrics.incr m_gf_clauses;
+            if Cert.armed () then
+              Cert.record_gf
+                ~vars:(List.map V.to_string vs)
+                ~clause:(C.snapshot c) ~count:n;
             let r =
               Value.piece C.top (Qpoly.const (Qnum.mul k (Qnum.of_zint n)))
             in

@@ -30,7 +30,9 @@ let simplify (v : t) : t =
   List.iter
     (fun p ->
       match Omega.Clause.normalize p.guard with
-      | None -> ()
+      | None ->
+          if Cert.armed () then
+            Cert.record_refuted Cert.Simplify (Omega.Clause.snapshot p.guard)
       | Some g ->
           if Omega.Solve.is_feasible g then begin
             let g =
@@ -44,7 +46,9 @@ let simplify (v : t) : t =
             | None ->
                 order := key :: !order;
                 Hashtbl.replace tbl key (g, p.value)
-          end)
+          end
+          else if Cert.armed () then
+            Cert.record_refuted Cert.Simplify (Omega.Clause.snapshot g))
     v;
   List.rev !order
   |> List.filter_map (fun key ->

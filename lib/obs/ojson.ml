@@ -10,6 +10,12 @@ type t =
 
 exception Bad of int * string
 
+(* Nesting cap: the recursive-descent parser would otherwise turn a
+   ["[[[[…"] payload into a stack overflow (a hard crash, not a
+   catchable [Error]). 512 is far above anything our emitters produce
+   — certificates nest enum-witness cases a handful of levels deep. *)
+let max_depth = 512
+
 let parse s =
   let n = String.length s in
   let pos = ref 0 in
@@ -119,7 +125,8 @@ let parse s =
     | Some f -> Num f
     | None -> fail "bad number"
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -137,7 +144,7 @@ let parse s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -159,7 +166,7 @@ let parse s =
         end
         else begin
           let rec elems acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -178,7 +185,7 @@ let parse s =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v
@@ -205,3 +212,63 @@ let to_string = function Str s -> Some s | _ -> None
 let to_list = function Arr l -> Some l | _ -> None
 
 let obj_keys = function Obj kvs -> List.map fst kvs | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_num b f =
+  if not (Float.is_finite f) then
+    (* JSON has no NaN/infinity; our emitters never produce them. *)
+    Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else begin
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then Buffer.add_string b s
+    else Buffer.add_string b (Printf.sprintf "%.17g" f)
+  end
+
+let render j =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Num f -> add_num b f
+    | Str s ->
+        Buffer.add_char b '"';
+        add_escaped b s;
+        Buffer.add_char b '"'
+    | Arr l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char b ',';
+            go v)
+          l;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            add_escaped b k;
+            Buffer.add_string b "\":";
+            go v)
+          kvs;
+        Buffer.add_char b '}'
+  in
+  go j;
+  Buffer.contents b

@@ -16,8 +16,14 @@ type t =
   | Obj of (string * t) list
 
 (** Parse one complete JSON value; trailing non-whitespace is an error.
-    [Error msg] carries a character offset. *)
+    [Error msg] carries a character offset. Nesting deeper than an
+    internal cap (512 levels) is an [Error], not a stack overflow. *)
 val parse : string -> (t, string) result
+
+(** Render back to compact JSON (no whitespace). Integral numbers print
+    without a fractional part, so [parse (render j)] is [Ok j] for every
+    [j] whose numbers are finite; non-finite numbers render as [null]. *)
+val render : t -> string
 
 (** {1 Accessors} *)
 

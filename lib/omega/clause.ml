@@ -341,3 +341,7 @@ let pp fmt c =
       (pp_list pp_item) items
 
 let to_string c = Format.asprintf "%a" pp c
+
+let snapshot c =
+  Cert.snapshot ~wilds:(V.Set.elements c.wilds) ~eqs:c.eqs ~geqs:c.geqs
+    ~strides:c.strides

@@ -86,3 +86,6 @@ val holds : ?box:int -> (Presburger.Var.t -> Zint.t) -> t -> bool
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Immutable snapshot of the clause for certificate recording. *)
+val snapshot : t -> Cert.snapshot

@@ -181,12 +181,21 @@ let rec disjointify depth (cls : Clause.t list) : Clause.t list =
                           let simplified =
                             Gist.gist piece ~given:cj
                           in
-                          match
-                            Clause.normalize (Clause.conjoin cj simplified)
-                          with
-                          | None -> None
+                          let cand = Clause.conjoin cj simplified in
+                          match Clause.normalize cand with
+                          | None ->
+                              if Cert.armed () then
+                                Cert.record_refuted Cert.Dnf
+                                  (Clause.snapshot cand);
+                              None
                           | Some c ->
-                              if Solve.is_feasible c then Some c else None)
+                              if Solve.is_feasible c then Some c
+                              else begin
+                                if Cert.armed () then
+                                  Cert.record_refuted Cert.Dnf
+                                    (Clause.snapshot c);
+                                None
+                              end)
                         rest)
                     pieces
                 in
@@ -202,7 +211,15 @@ let rec disjointify depth (cls : Clause.t list) : Clause.t list =
     end
 
 let to_disjoint_core cls =
-  let cls = List.filter Solve.is_feasible cls in
+  let cls =
+    List.filter
+      (fun c ->
+        let ok = Solve.is_feasible c in
+        if (not ok) && Cert.armed () then
+          Cert.record_refuted Cert.Dnf (Clause.snapshot c);
+        ok)
+      cls
+  in
   disjointify 0 cls
 
 let to_disjoint cls =

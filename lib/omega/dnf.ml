@@ -36,7 +36,13 @@ let product (xs : Clause.t list) (ys : Clause.t list) : Clause.t list =
       (fun x ->
         List.filter_map
           (fun y ->
-            Clause.normalize (Clause.conjoin x (Clause.rename_wilds y)))
+            let cand = Clause.conjoin x (Clause.rename_wilds y) in
+            match Clause.normalize cand with
+            | Some _ as r -> r
+            | None ->
+                if Cert.armed () then
+                  Cert.record_refuted Cert.Dnf (Clause.snapshot cand);
+                None)
           ys)
       xs
   in
@@ -93,8 +99,17 @@ let of_formula_core mode f =
                  (go (F.not_ g))))
   in
   go f
-  |> List.filter_map Gist.remove_redundant
-  |> List.filter Solve.is_feasible
+  |> List.filter_map (fun c ->
+         match Gist.remove_redundant c with
+         | Some _ as r -> r
+         | None ->
+             if Cert.armed () then Cert.record_refuted Cert.Gist (Clause.snapshot c);
+             None)
+  |> List.filter (fun c ->
+         let ok = Solve.is_feasible c in
+         if (not ok) && Cert.armed () then
+           Cert.record_refuted Cert.Dnf (Clause.snapshot c);
+         ok)
 
 let m_dnf_clauses =
   Obs.Metrics.histogram "dnf.clauses" ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128 |]

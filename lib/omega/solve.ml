@@ -184,7 +184,31 @@ let eliminate_core mode v (c : Clause.t) : Clause.t list =
        be skipped (the dark shadow emitted below is infeasible too and
        is dropped downstream like any pruned pin). *)
     let region_refuted () =
-      penv <> None && Prefilter.probe real_clause = Prefilter.Refuted
+      let r = penv <> None && Prefilter.probe real_clause = Prefilter.Refuted in
+      if r && Cert.armed () then
+        Cert.record_refuted Cert.Region (Clause.snapshot c);
+      r
+    in
+    (* Pin-clamp recording: every skipped pin value denotes a provably
+       infeasible pinned clause; armed certificate runs snapshot them
+       (up to the recorder cap — [Cert.full] keeps huge clamps cheap). *)
+    let record_pins mk lo hi =
+      if Cert.armed () then begin
+        let rec go i =
+          if Zint.compare i hi <= 0 && not (Cert.full ()) then begin
+            Cert.record_refuted Cert.Pin (Clause.snapshot (mk i));
+            go (Zint.succ i)
+          end
+        in
+        go lo
+      end
+    in
+    let record_skipped mk full_lo full_hi lo_i hi_i =
+      if Zint.compare lo_i hi_i > 0 then record_pins mk full_lo full_hi
+      else begin
+        record_pins mk full_lo (Zint.pred lo_i);
+        record_pins mk (Zint.succ hi_i) full_hi
+      end
     in
     if List.for_all exact pairs then [ dark_clause ]
     else
@@ -211,6 +235,10 @@ let eliminate_core mode v (c : Clause.t) : Clause.t list =
                 let pin_base = A.sub (A.scale b (A.var v)) beta in
                 let lo_i, hi_i = clamp Zint.zero top pin_base in
                 note_pruned (span Zint.zero top) (span lo_i hi_i);
+                record_skipped
+                  (fun i ->
+                    { c with eqs = A.add_const pin_base (Zint.neg i) :: c.eqs })
+                  Zint.zero top lo_i hi_i;
                 let rec go i acc =
                   if Zint.compare i hi_i > 0 then acc
                   else begin
@@ -247,12 +275,29 @@ let eliminate_core mode v (c : Clause.t) : Clause.t list =
                 in
                 let emitted = ref Zint.zero in
                 let lo_i, hi_i = clamp Zint.zero (Zint.pred gap) gap_aff in
+                record_skipped
+                  (fun i ->
+                    {
+                      c with
+                      eqs = A.add_const gap_aff (Zint.neg i) :: c.eqs;
+                      geqs = !acc_dark @ c.geqs;
+                    })
+                  Zint.zero (Zint.pred gap) lo_i hi_i;
                 let rec loop_i i =
                   if Zint.compare i hi_i > 0 then ()
                   else begin
                     let guard = A.add_const gap_aff (Zint.neg i) in
                     (* a·b·v = a·β + i' for i' = 0..i *)
                     let lo_i', hi_i' = clamp Zint.zero i pin_base in
+                    record_skipped
+                      (fun i' ->
+                        {
+                          c with
+                          eqs =
+                            guard :: A.add_const pin_base (Zint.neg i') :: c.eqs;
+                          geqs = !acc_dark @ c.geqs;
+                        })
+                      Zint.zero i lo_i' hi_i';
                     let rec loop_i' i' =
                       if Zint.compare i' hi_i' > 0 then ()
                       else begin
@@ -452,8 +497,12 @@ let project_core mode vars (c : Clause.t) : Clause.t list =
                                 let keep =
                                   Prefilter.probe cl <> Prefilter.Refuted
                                 in
-                                if not keep then
+                                if not keep then begin
                                   Obs.Metrics.incr m_pruned_branches;
+                                  if Cert.armed () then
+                                    Cert.record_refuted Cert.Branch
+                                      (Clause.snapshot cl)
+                                end;
                                 keep)
                               branches
                           else branches

@@ -339,6 +339,8 @@ let subst (t : t) v (r : t) =
                 is not affine"
                v))
 
+let monomials (t : t) = MMap.fold (fun m c acc -> (c, m) :: acc) t []
+
 let eval env (t : t) =
   let eval_atom = function
     | Atom.Var v -> Qnum.of_zint (env v)

@@ -112,6 +112,13 @@ val vars : t -> string list
 (** [to_const t] is [Some c] when [t] is constant. *)
 val to_const : t -> Qnum.t option
 
+(** The polynomial as a coefficient/monomial list; a monomial is a sorted
+    [(atom, power)] list with positive powers and the empty list denoting
+    the constant monomial. No ordering is guaranteed between entries.
+    Intended for serialization (certificates); reconstruct with
+    {!atom}/{!pow}/{!scale}/{!add}. *)
+val monomials : t -> (Qnum.t * (Atom.t * int) list) list
+
 (** [to_lin t] is [Some l] when [t] is affine in plain variables with no
     [Mod] atoms. *)
 val to_lin : t -> Lin.t option

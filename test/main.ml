@@ -24,4 +24,5 @@ let () =
       Test_gfcount.suite;
       Test_planner.suite;
       Test_telemetry.suite;
+      Test_cert.suite;
     ]

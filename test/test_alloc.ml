@@ -28,10 +28,24 @@ let example6_formula =
       F.leq (A.scale (z 2) (v "i")) (A.scale (z 3) (v "j"));
     ]
 
-(* Measured ~80k words cold as of this PR; 140k still comfortably rejects
-   the ~160k pre-fast-path behaviour while leaving headroom for benign
-   engine changes. *)
-let ceiling = 140_000.
+(* Guards are ratios against measured baselines rather than
+   free-standing word ceilings: the failure message then reports how far
+   the measurement drifted, and retuning after an intentional change
+   means re-measuring one number instead of re-deriving a ceiling with
+   guessed headroom. Baselines are the cold jobs=1 figures for this
+   revision; 1.75x still comfortably rejects the ~2.2x pre-fast-path
+   behaviour (~160k words on Example 6) while leaving room for benign
+   engine evolution. *)
+let e6_baseline = 72_000.
+let gf_baseline = 2_220_000.
+let max_ratio = 1.75
+
+let guard_ratio ~label ~baseline words =
+  let ratio = words /. baseline in
+  if ratio > max_ratio then
+    Alcotest.failf
+      "%s: %.0f minor words = %.2fx the %.0f-word baseline (max %.2fx)" label
+      words ratio baseline max_ratio
 
 let test_example6_minor_words () =
   (* Pin jobs = 1: with a pool enabled the fan-out path allocates task
@@ -49,21 +63,16 @@ let test_example6_minor_words () =
   let before = Gc.minor_words () in
   ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
   let words = Gc.minor_words () -. before in
-  if words > ceiling then
-    Alcotest.failf
-      "Example 6 count allocated %.0f minor words (ceiling %.0f): the \
-       small-integer fast path has regressed"
-      words ceiling
+  guard_ratio ~label:"Example 6 count (small-integer fast path)"
+    ~baseline:e6_baseline words
 
 (* Example 4 under the generating-function backend: the clause's 6i+9j
    stride pair dispatches to gfcount, so this cold run covers the whole
    Barvinok path — lattice preprocessing, vertex enumeration, LLL-based
-   unimodular splitting, Todd-series specialization. Measured ~2.5M
-   minor words as of this PR (rational Gauss–Jordan and LLL dominate);
-   4M rejects an accidental order-of-magnitude regression (e.g. a
-   non-memoized inverse recomputed per vertex) with room for benign
-   evolution. *)
-let gf_ceiling = 4_000_000.
+   unimodular splitting, Todd-series specialization. The baseline is
+   dominated by rational Gauss–Jordan and LLL; 1.75x rejects an
+   accidental regression (e.g. a non-memoized inverse recomputed per
+   vertex) with room for benign evolution. *)
 
 let example4_formula =
   F.exists
@@ -89,11 +98,7 @@ let test_example4_gf_minor_words () =
   let before = Gc.minor_words () in
   ignore (E.count ~opts ~vars:[ "x" ] example4_formula);
   let words = Gc.minor_words () -. before in
-  if words > gf_ceiling then
-    Alcotest.failf
-      "Example 4 gf-backend count allocated %.0f minor words (ceiling %.0f): \
-       the generating-function path has regressed"
-      words gf_ceiling
+  guard_ratio ~label:"Example 4 gf-backend count" ~baseline:gf_baseline words
 
 (* Disabled telemetry and logging must add nothing to the measured
    path: the compiled-in hooks (log-level check, flight-note sites,
@@ -124,24 +129,57 @@ let test_disabled_telemetry_zero_alloc () =
   let before = Gc.minor_words () in
   ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
   let words = Gc.minor_words () -. before in
-  if words > ceiling then
-    Alcotest.failf
-      "Example 6 with disarmed telemetry allocated %.0f minor words \
-       (ceiling %.0f)"
-      words ceiling;
+  guard_ratio ~label:"Example 6 with disarmed telemetry" ~baseline:e6_baseline
+    words;
   if words > plain_words +. 2_000. then
     Alcotest.failf
       "disarmed telemetry/logging added %.0f minor words over the plain run \
        (%.0f vs %.0f): a disabled hook is allocating"
       (words -. plain_words) words plain_words
 
+(* Same discipline for the certificate recorder: its hook sites live on
+   the engine's clause-drop and refutation paths, guarded by a single
+   [Cert.armed ()] atomic read. After a recording run has armed,
+   drained, and disarmed the recorder, the plain count must allocate
+   exactly what it did before — a disarmed hook that builds snapshots or
+   events speculatively would show up here. *)
+let test_disabled_cert_zero_alloc () =
+  let saved_jobs = Counting.Pool.jobs () in
+  Counting.Pool.set_jobs 1;
+  Fun.protect ~finally:(fun () -> Counting.Pool.set_jobs saved_jobs)
+  @@ fun () ->
+  ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
+  Omega.Memo.clear_all ();
+  let before = Gc.minor_words () in
+  ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
+  let plain_words = Gc.minor_words () -. before in
+  (* arm, record a full certified run, disarm *)
+  let _, events, _ =
+    Counting.Certify.with_recording (fun () ->
+        E.count ~vars:[ "i"; "j" ] example6_formula)
+  in
+  ignore events;
+  Omega.Memo.clear_all ();
+  let before = Gc.minor_words () in
+  ignore (E.count ~vars:[ "i"; "j" ] example6_formula);
+  let words = Gc.minor_words () -. before in
+  guard_ratio ~label:"Example 6 after certificate recording"
+    ~baseline:e6_baseline words;
+  if words > plain_words +. 2_000. then
+    Alcotest.failf
+      "disarmed certificate recorder added %.0f minor words over the plain \
+       run (%.0f vs %.0f): a disabled hook is allocating"
+      (words -. plain_words) words plain_words
+
 let suite =
   ( "alloc",
     [
-      Alcotest.test_case "example6 minor-words ceiling" `Quick
+      Alcotest.test_case "example6 minor-words ratio guard" `Quick
         test_example6_minor_words;
       Alcotest.test_case "example6 disabled-telemetry zero-alloc" `Quick
         test_disabled_telemetry_zero_alloc;
-      Alcotest.test_case "example4 gf-backend minor-words ceiling" `Quick
+      Alcotest.test_case "example6 disabled-cert zero-alloc" `Quick
+        test_disabled_cert_zero_alloc;
+      Alcotest.test_case "example4 gf-backend minor-words ratio guard" `Quick
         test_example4_gf_minor_words;
     ] )
