@@ -1147,6 +1147,207 @@ let telemetry_report emit =
     telemetry_experiments
 
 (* ------------------------------------------------------------------ *)
+(* omegad load generation (the BENCH_10.json lines)                     *)
+
+(* Mixed request corpus: the light end of the experiment table plus a
+   splinter-heavy tail, as one JSONL request line each. *)
+let serve_corpus =
+  [
+    {|"query":"count { i, j : 1 <= i <= j <= n }","at":{"n":100}|};
+    {|"query":"sum { i : 1 <= i <= n } i^2","at":{"n":100}|};
+    {|"query":"count { i, j : 1 <= i and j <= n and 2*i <= 3*j }","at":{"n":100}|};
+    {|"query":"count { i, j, k : 1 <= i <= j <= k <= n }","at":{"n":60}|};
+    {|"query":"count { i : 1 <= i <= n and 3*i <= 2*n }","at":{"n":100}|};
+    {|"query":"count { i, j : 1 <= i and j <= n and 2*i <= 3*j }","at":{"n":100},"strategy":"symbolic"|};
+    {|"query":"count { i, j : 1 <= i and j <= n and 3*i <= 5*j }","at":{"n":80}|};
+    (* splinter-heavy tail: large-coefficient rational bounds *)
+    {|"query":"count { i, j : 1 <= i and j <= n and 97*i <= 101*j }","at":{"n":25}|};
+  ]
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((p /. 100. *. float_of_int (n - 1)) +. 0.5)))
+
+let with_bench_server cfg f =
+  let d = Domain.spawn (fun () -> Serve.Server.run ~config:cfg ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Serve.Client.connect ~retries:50 cfg.Serve.Server.socket_path in
+         ignore (Serve.Client.request c {|{"op":"shutdown"}|});
+         Serve.Client.close c
+       with _ -> ());
+      Domain.join d)
+    (fun () -> f cfg.Serve.Server.socket_path)
+
+(* [conns] client domains, each sending [per_conn] requests round-robin
+   over [reqs] with one in flight; returns wall seconds, the sorted
+   per-request latency array, and how many responses were not
+   complete/partial. *)
+let drive_load ~path ~conns ~per_conn reqs =
+  let reqs = Array.of_list reqs in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init conns (fun k ->
+        Domain.spawn (fun () ->
+            let c = Serve.Client.connect ~retries:200 path in
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () ->
+                let lat = Array.make per_conn 0.0 in
+                let bad = ref 0 in
+                for i = 0 to per_conn - 1 do
+                  let req =
+                    Printf.sprintf "{\"id\":%d,%s}"
+                      ((k * 1_000_000) + i)
+                      reqs.((i + k) mod Array.length reqs)
+                  in
+                  let r0 = Unix.gettimeofday () in
+                  let resp = Serve.Client.request c req in
+                  lat.(i) <- Unix.gettimeofday () -. r0;
+                  let ok =
+                    match Obs.Ojson.parse resp with
+                    | Ok o -> (
+                        match Obs.Ojson.member "status" o with
+                        | Some (Obs.Ojson.Str ("complete" | "partial")) -> true
+                        | _ -> false)
+                    | Error _ -> false
+                  in
+                  if not ok then incr bad
+                done;
+                (lat, !bad))))
+  in
+  let results = List.map Domain.join domains in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let lats = Array.concat (List.map fst results) in
+  Array.sort compare lats;
+  (wall_s, lats, List.fold_left (fun a (_, b) -> a + b) 0 results)
+
+let serve_metric path name =
+  let c = Serve.Client.connect ~retries:50 path in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      match Obs.Ojson.parse (Serve.Client.request c {|{"op":"metrics"}|}) with
+      | Ok o -> (
+          match Obs.Ojson.member "metrics" o with
+          | Some (Obs.Ojson.Str text) ->
+              String.split_on_char '\n' text
+              |> List.find_map (fun l ->
+                     match String.index_opt l ' ' with
+                     | Some i when String.sub l 0 i = name ->
+                         int_of_string_opt
+                           (String.sub l (i + 1) (String.length l - i - 1))
+                     | _ -> None)
+          | _ -> None)
+      | Error _ -> None)
+
+let bench_sock tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "omegad-bench-%s-%d.sock" tag (Unix.getpid ()))
+
+let serve_report emit =
+  Printf.printf "omegad load generation (mixed corpus + splinter tail):\n";
+  let throughput_line label cfg =
+    with_bench_server cfg (fun path ->
+        let conns = 8 and per_conn = 25 in
+        let wall_s, lats, bad = drive_load ~path ~conns ~per_conn serve_corpus in
+        let n = conns * per_conn in
+        if bad > 0 then
+          failwith (Printf.sprintf "%s: %d malformed responses" label bad);
+        let p q = percentile lats q *. 1000. in
+        Printf.printf
+          "  %-22s %4d reqs %2d conns  %8.1f req/s  p50 %6.2fms  p90 %6.2fms  p99 %6.2fms\n"
+          label n conns
+          (float_of_int n /. wall_s)
+          (p 50.) (p 90.) (p 99.);
+        emit
+          (Printf.sprintf
+             "{\"label\":\"%s\",\"requests\":%d,\"conns\":%d,\"handlers\":%d,\"wall_s\":%.6f,\"rps\":%.1f,\"p50_ms\":%.3f,\"p90_ms\":%.3f,\"p99_ms\":%.3f}"
+             label n conns cfg.Serve.Server.handlers wall_s
+             (float_of_int n /. wall_s)
+             (p 50.) (p 90.) (p 99.)))
+  in
+  (* Cold: TTL -1 expires every cache entry immediately, so each request
+     exercises the full per-request pipeline (context install, governed
+     engine run, render). *)
+  throughput_line "serve_throughput_cold"
+    {
+      Serve.Server.default_config with
+      socket_path = bench_sock "cold";
+      handlers = 4;
+      cache_capacity = 1;
+      cache_ttl_s = Some (-1.);
+      idle_sweep_s = None;
+    };
+  (* Cached: the same corpus with the whole-answer cache on — steady
+     state for a service replaying hot queries. *)
+  throughput_line "serve_throughput_cached"
+    {
+      Serve.Server.default_config with
+      socket_path = bench_sock "cached";
+      handlers = 4;
+      cache_ttl_s = None;
+      idle_sweep_s = None;
+    };
+  (* Soak: 10k requests cycling more distinct queries than the cache
+     holds — eviction must bound both the entry count and the heap. *)
+  let soak_cfg =
+    {
+      Serve.Server.default_config with
+      socket_path = bench_sock "soak";
+      handlers = 4;
+      cache_capacity = 16;
+      cache_ttl_s = None;
+      idle_sweep_s = None;
+    }
+  in
+  with_bench_server soak_cfg (fun path ->
+      let distinct = 40 in
+      let reqs =
+        List.init distinct (fun k ->
+            Printf.sprintf
+              {|"query":"count { i : 1 <= i <= %d*n }","at":{"n":7}|}
+              (k + 1))
+      in
+      let metric name = Option.value ~default:0 (serve_metric path name) in
+      (* The metrics registry is process-global: delta from here, so the
+         two throughput phases above don't leak into the soak figures. *)
+      let hits0 = metric "omega_serve_cache_hits_total" in
+      let misses0 = metric "omega_serve_cache_misses_total" in
+      Gc.compact ();
+      let heap0 = (Gc.quick_stat ()).Gc.heap_words in
+      let conns = 4 and per_conn = 2500 in
+      let wall_s, _, bad = drive_load ~path ~conns ~per_conn reqs in
+      Gc.compact ();
+      let heap1 = (Gc.quick_stat ()).Gc.heap_words in
+      if bad > 0 then failwith (Printf.sprintf "soak: %d malformed responses" bad);
+      let n = conns * per_conn in
+      let hits = metric "omega_serve_cache_hits_total" - hits0 in
+      let misses = metric "omega_serve_cache_misses_total" - misses0 in
+      let entries = metric "omega_serve_cache_entries" in
+      let bounded = entries <= soak_cfg.Serve.Server.cache_capacity in
+      if not bounded then
+        failwith
+          (Printf.sprintf "soak: cache entries %d exceed capacity %d" entries
+             soak_cfg.Serve.Server.cache_capacity);
+      let heap_growth = max 0 (heap1 - heap0) in
+      Printf.printf
+        "  %-22s %4d reqs over %d queries  cap %d  hits %d  misses %d  entries %d  heap +%d words  %8.1f req/s\n"
+        "serve_cache_soak" n distinct soak_cfg.Serve.Server.cache_capacity hits
+        misses entries heap_growth
+        (float_of_int n /. wall_s);
+      emit
+        (Printf.sprintf
+           "{\"label\":\"serve_cache_soak\",\"requests\":%d,\"distinct_queries\":%d,\"capacity\":%d,\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"entries_end\":%d,\"entries_bounded\":%b,\"heap_growth_words\":%d,\"wall_s\":%.6f,\"rps\":%.1f}"
+           n distinct soak_cfg.Serve.Server.cache_capacity hits misses
+           (float_of_int hits /. float_of_int (max 1 (hits + misses)))
+           entries bounded heap_growth wall_s
+           (float_of_int n /. wall_s)))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing                                                      *)
 
 open Bechamel
@@ -1270,6 +1471,14 @@ let () =
     (* `bench telemetry_report`: just the telemetry-overhead lines (the
        BENCH_8.json generator). *)
     telemetry_report emit;
+    Option.iter close_out json_oc;
+    exit 0
+  end;
+  if List.mem "serve_report" argv then begin
+    (* `bench serve_report`: omegad under load — throughput and tail
+       latency over a mixed corpus, plus the 10k-request answer-cache
+       soak (the BENCH_10.json generator). *)
+    serve_report emit;
     Option.iter close_out json_oc;
     exit 0
   end;

@@ -14,32 +14,10 @@ let parse_binding s =
       (name, Zint.of_string value)
   | None -> raise (Arg.Bad (Printf.sprintf "bad binding %S (want name=int)" s))
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let env_of bindings name =
   match List.assoc_opt name bindings with
   | Some z -> z
   | None -> raise Not_found
-
-(* Evaluate a value under the --at bindings when that yields a plain
-   integer; [None] when symbolic constants remain unbound or the result
-   is non-integral. *)
-let eval_num bindings v =
-  match Counting.Value.eval (env_of bindings) v with
-  | q -> Qnum.to_zint q
-  | exception Not_found -> None
 
 let print_report = function
   | None -> ()
@@ -56,49 +34,13 @@ let print_eval_at bindings value =
             bindings))
       (Qnum.to_string (Counting.Value.eval (env_of bindings) value))
 
+(* The bodies live in [Counting.Answer] so omegad publishes the exact
+   same bytes. *)
 let json_complete bindings value =
-  let b = Buffer.create 256 in
-  Buffer.add_string b
-    (Printf.sprintf "{\"status\":\"complete\",\"value\":\"%s\""
-       (json_escape (Counting.Value.to_string value)));
-  (match eval_num bindings value with
-  | Some z -> Buffer.add_string b (Printf.sprintf ",\"eval\":%s" (Zint.to_string z))
-  | None -> ());
-  Buffer.add_string b "}";
-  print_endline (Buffer.contents b)
+  print_endline (Counting.Answer.complete_json ~at:bindings value)
 
 let json_partial bindings (p : Counting.Governor.partial) =
-  let b = Buffer.create 512 in
-  Buffer.add_string b
-    (Printf.sprintf
-       "{\"status\":\"partial\",\"reason\":\"%s\",\"pieces_done\":%d,\"clauses_done\":%d,\"clauses_total\":%d"
-       (Counting.Governor.reason_name p.reason)
-       p.pieces_done p.clauses_done p.clauses_total);
-  Buffer.add_string b
-    (Printf.sprintf ",\"pieces\":\"%s\",\"lower\":\"%s\""
-       (json_escape (Counting.Value.to_string p.pieces))
-       (json_escape (Counting.Value.to_string p.lower)));
-  (match p.upper with
-  | Some u ->
-      Buffer.add_string b
-        (Printf.sprintf ",\"upper\":\"%s\""
-           (json_escape (Counting.Value.to_string u)))
-  | None -> Buffer.add_string b ",\"upper\":null");
-  Buffer.add_string b ",\"bounds\":{";
-  let bounds = ref [] in
-  (match eval_num bindings p.lower with
-  | Some z -> bounds := Printf.sprintf "\"lower\":%s" (Zint.to_string z) :: !bounds
-  | None -> ());
-  (match p.upper with
-  | Some u -> (
-      match eval_num bindings u with
-      | Some z ->
-          bounds := Printf.sprintf "\"upper\":%s" (Zint.to_string z) :: !bounds
-      | None -> ())
-  | None -> ());
-  Buffer.add_string b (String.concat "," (List.rev !bounds));
-  Buffer.add_string b "}}";
-  print_endline (Buffer.contents b)
+  print_endline (Counting.Answer.partial_json ~at:bindings p)
 
 (* --explain-plan: the planner's per-clause dump (predicted fan-out,
    backend routing, elimination order) before the run, and the observed

@@ -42,65 +42,95 @@ let m_emitted = Obs.Metrics.counter "cert.emitted"
 
 let note_emitted () = Obs.Metrics.incr m_emitted
 
-(* The armed flag is an atomic so pool workers on other domains observe
-   it without synchronization; event storage is a mutex-protected list
+(* Each certifying request gets its own recorder, installed in the
+   submitting domain's DLS by [with_recording] and propagated to pool
+   workers through the [Obs.Ambient] capture in [Pool.spawn] — so two
+   concurrent certifying requests accumulate disjoint event lists.
+   Event storage inside one recorder is a mutex-protected list, because
+   one request's tasks still record from several worker domains
    (recording happens on refutation paths, which are not hot unless the
    pre-filter prunes thousands of pins — hence the cap and [full]). *)
-let armed_flag = Atomic.make false
-let armed () = Atomic.get armed_flag
-let mu = Mutex.create ()
-let events : event list ref = ref []
-let refuted_seen = ref 0
-let gf_seen = ref 0
-let dropped_count = ref 0
+type recorder = {
+  r_mu : Mutex.t;
+  mutable r_events : event list;
+  mutable r_refuted_seen : int;
+  mutable r_gf_seen : int;
+  mutable r_dropped : int;
+}
+
 let refuted_cap = 512
 let gf_cap = 512
 
+let current : recorder option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let active () = !(Domain.DLS.get current)
+
+let () =
+  Obs.Ambient.register (fun () ->
+      let captured = active () in
+      {
+        Obs.Ambient.run =
+          (fun f ->
+            let cell = Domain.DLS.get current in
+            let saved = !cell in
+            cell := captured;
+            Fun.protect ~finally:(fun () -> cell := saved) f);
+      })
+
+let armed () = match active () with Some _ -> true | None -> false
+
 (* Racy read by design: a stale [false] only means one extra snapshot is
    built and then dropped under the lock. *)
-let full () = !refuted_seen >= refuted_cap
+let full () =
+  match active () with
+  | None -> false
+  | Some r -> r.r_refuted_seen >= refuted_cap
 
 let record_refuted site s =
-  if armed () then begin
-    Mutex.lock mu;
-    if !refuted_seen >= refuted_cap then incr dropped_count
-    else begin
-      incr refuted_seen;
-      events := Refuted (site, s) :: !events
-    end;
-    Mutex.unlock mu
-  end
+  match active () with
+  | None -> ()
+  | Some r ->
+      Mutex.lock r.r_mu;
+      if r.r_refuted_seen >= refuted_cap then r.r_dropped <- r.r_dropped + 1
+      else begin
+        r.r_refuted_seen <- r.r_refuted_seen + 1;
+        r.r_events <- Refuted (site, s) :: r.r_events
+      end;
+      Mutex.unlock r.r_mu
 
 let record_gf ~vars ~clause ~count =
-  if armed () then begin
-    Mutex.lock mu;
-    if !gf_seen >= gf_cap then incr dropped_count
-    else begin
-      incr gf_seen;
-      events :=
-        Counted { gf_vars = vars; gf_clause = clause; gf_count = count }
-        :: !events
-    end;
-    Mutex.unlock mu
-  end
-
-let reset_locked () =
-  events := [];
-  refuted_seen := 0;
-  gf_seen := 0;
-  dropped_count := 0
+  match active () with
+  | None -> ()
+  | Some r ->
+      Mutex.lock r.r_mu;
+      if r.r_gf_seen >= gf_cap then r.r_dropped <- r.r_dropped + 1
+      else begin
+        r.r_gf_seen <- r.r_gf_seen + 1;
+        r.r_events <-
+          Counted { gf_vars = vars; gf_clause = clause; gf_count = count }
+          :: r.r_events
+      end;
+      Mutex.unlock r.r_mu
 
 let with_recording f =
-  Mutex.lock mu;
-  reset_locked ();
-  Atomic.set armed_flag true;
-  Mutex.unlock mu;
+  let cell = Domain.DLS.get current in
+  let saved = !cell in
+  let r =
+    {
+      r_mu = Mutex.create ();
+      r_events = [];
+      r_refuted_seen = 0;
+      r_gf_seen = 0;
+      r_dropped = 0;
+    }
+  in
+  cell := Some r;
   let finish () =
-    Mutex.lock mu;
-    Atomic.set armed_flag false;
-    let ev = List.rev !events and d = !dropped_count in
-    reset_locked ();
-    Mutex.unlock mu;
+    cell := saved;
+    Mutex.lock r.r_mu;
+    let ev = List.rev r.r_events and d = r.r_dropped in
+    Mutex.unlock r.r_mu;
     (ev, d)
   in
   match f () with

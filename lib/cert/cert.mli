@@ -72,9 +72,11 @@ type event = Refuted of site * snapshot | Counted of gf_entry
 
 (** {1 Recorder} *)
 
-(** Whether recording is armed. A single atomic load: drop sites guard
-    their snapshot construction on it, so disarmed runs pay one branch
-    and allocate nothing. *)
+(** Whether recording is armed for the calling domain's current request.
+    A single domain-local load: drop sites guard their snapshot
+    construction on it, so disarmed runs pay one branch and allocate
+    nothing. Pool tasks inherit the submitting request's recorder via
+    the [Obs.Ambient] capture. *)
 val armed : unit -> bool
 
 (** True once the refutation cap is reached: hot loops (the pin clamp)
@@ -86,9 +88,10 @@ val record_refuted : site -> snapshot -> unit
 
 val record_gf : vars:string list -> clause:snapshot -> count:Zint.t -> unit
 
-(** [with_recording f] arms the recorder, runs [f], and returns its
-    result with the recorded events (in recording order) and the number
-    of events dropped at the cap. Always disarms, also on exceptions. *)
+(** [with_recording f] arms a fresh per-request recorder, runs [f], and
+    returns its result with the recorded events (in recording order)
+    and the number of events dropped at the cap. Always restores the
+    previous recorder (if any), also on exceptions. *)
 val with_recording : (unit -> 'a) -> 'a * event list * int
 
 (** {1 Witnesses} *)

@@ -78,20 +78,53 @@ let m_piece_depth =
 
 exception Unbounded of string
 
-(* Atomic so concurrent tasks never mint the same name. The name is
-   zero-padded because [Named] variables compare lexicographically:
-   without padding, "%w10" < "%w9" would make the relative order of two
-   fresh variables depend on the absolute counter values — which differ
-   between serial and parallel schedules — and the engine's variable
-   ordering would diverge. Padded names order by creation time at any
-   counter offset, so every comparison the engine makes is
-   schedule-independent. *)
-let sum_var_counter = Atomic.make 0
+(* The sum-var cell is atomic so concurrent tasks never mint the same
+   name, and swappable per domain (like [Var]'s wild counter) so a
+   long-running server can renumber from %w000001 for every request.
+   The name is zero-padded because [Named] variables compare
+   lexicographically: without padding, "%w10" < "%w9" would make the
+   relative order of two fresh variables depend on the absolute counter
+   values — which differ between serial and parallel schedules — and
+   the engine's variable ordering would diverge. Padded names order by
+   creation time at any counter offset, so every comparison the engine
+   makes is schedule-independent. *)
+let default_sum_var_counter = Atomic.make 0
+
+let sum_var_cell : int Atomic.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref default_sum_var_counter)
+
+let current_sum_var_counter () = !(Domain.DLS.get sum_var_cell)
+let install_sum_var_counter c = Domain.DLS.get sum_var_cell := c
 
 let fresh_sum_var () =
-  V.named (Printf.sprintf "%%w%06d" (1 + Atomic.fetch_and_add sum_var_counter 1))
+  V.named
+    (Printf.sprintf "%%w%06d"
+       (1 + Atomic.fetch_and_add (current_sum_var_counter ()) 1))
 
-let reset_fresh_sum_var () = Atomic.set sum_var_counter 0
+let reset_fresh_sum_var () = Atomic.set (current_sum_var_counter ()) 0
+
+(* One ambient hook carries both fresh-name cells (this module's
+   sum-var cell and [Var]'s wild cell — registered here because
+   [Presburger] cannot depend on [Obs]) onto whatever domain executes a
+   pool task, so a request's tasks keep minting from the request's own
+   cells. *)
+let () =
+  Obs.Ambient.register (fun () ->
+      let sv = current_sum_var_counter () in
+      let wc = V.current_counter () in
+      {
+        Obs.Ambient.run =
+          (fun f ->
+            let saved_sv = current_sum_var_counter () in
+            let saved_wc = V.current_counter () in
+            install_sum_var_counter sv;
+            V.install_counter wc;
+            Fun.protect
+              ~finally:(fun () ->
+                install_sum_var_counter saved_sv;
+                V.install_counter saved_wc)
+              f);
+      })
 
 let max_steps = 20_000
 

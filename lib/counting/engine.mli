@@ -207,6 +207,17 @@ val fresh_sum_var : unit -> Presburger.Var.t
     {!Presburger.Var.reset_fresh}). *)
 val reset_fresh_sum_var : unit -> unit
 
+(** The calling domain's installed sum-var counter cell, and its
+    replacement — the per-request analogue of
+    {!Presburger.Var.current_counter} / {!Presburger.Var.install_counter}.
+    A server installs a fresh cell per request (and restores the old
+    one after) so every request numbers sum vars from [%w000001];
+    standalone tools never touch these and keep the process-global
+    default cell. *)
+val current_sum_var_counter : unit -> int Atomic.t
+
+val install_sum_var_counter : int Atomic.t -> unit
+
 (** Brute-force reference: sum [poly] over assignments of [vars] in the
     box [[lo, hi]]^k satisfying [f] under [env] — the test oracle. *)
 val brute_sum :

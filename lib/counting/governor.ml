@@ -77,8 +77,9 @@ let sound_lower (opts : Engine.options) =
 let simplified vals =
   Instr.time_phase "simplify" (fun () -> Value.simplify (Merge.combine vals))
 
-let sum ?(budget = unlimited) ?(opts = Engine.default) ?stats ~vars f poly =
-  let ctrl = ctrl_of budget in
+let sum ?(budget = unlimited) ?ctrl ?(opts = Engine.default) ?stats ~vars f
+    poly =
+  let ctrl = match ctrl with Some c -> c | None -> ctrl_of budget in
   (* Under [opts.plan = Adaptive] the engine arms the feasibility
      pre-filter inside [to_clauses] / [sum_clauses_governed]; every
      probe charges this control block's fuel (one unit per probe plus
@@ -144,4 +145,5 @@ let sum ?(budget = unlimited) ?(opts = Engine.default) ?stats ~vars f poly =
         vals
   | `Tripped r -> mk_partial ~clauses_done:0 ~clauses_total:0 ~reason:r []
 
-let count ?budget ?opts ?stats ~vars f = sum ?budget ?opts ?stats ~vars f Qpoly.one
+let count ?budget ?ctrl ?opts ?stats ~vars f =
+  sum ?budget ?ctrl ?opts ?stats ~vars f Qpoly.one

@@ -24,9 +24,10 @@
     partial pieces carry approximate emptiness guards, so a subset sum
     is not guaranteed below the total).
 
-    One governed query runs at a time per process (like
-    [Engine.with_instr]); the worker pool is shared, survives
-    exhaustion, and is immediately reusable.
+    One governed query runs at a time per {e domain} (like
+    [Engine.with_instr]); omegad runs one per handler domain
+    concurrently over the shared worker pool, which survives exhaustion
+    and is immediately reusable.
 
     Budget activity surfaces as [budget.trips], [budget.fuel_used] and
     [pool.cancelled_tasks] in {!Obs.Metrics} (so [--stats] and traces
@@ -77,13 +78,22 @@ type partial = {
 
 type outcome = Complete of Value.t | Partial of partial
 
-(** [sum ?budget ?opts ?stats ~vars f poly] is [Engine.sum] under a
-    budget. With an unlimited budget (and no injected faults) the result
-    is [Complete v] with [v] {e byte-identical} to [Engine.sum]'s
-    answer. Non-budget failures ([Engine.Unbounded],
-    [Omega.Error.Omega_error], …) propagate unchanged. *)
+(** [ctrl_of b] is the control block [sum] would build from budget [b].
+    A server builds it explicitly and passes it as [?ctrl] so it can
+    hold on to the block — registering it for out-of-band
+    [Obs.Budget.cancel] on shutdown — while the query runs. *)
+val ctrl_of : budget -> Obs.Budget.ctrl
+
+(** [sum ?budget ?ctrl ?opts ?stats ~vars f poly] is [Engine.sum] under
+    a budget. When [?ctrl] is given it is installed instead of a block
+    built from [?budget] (whose limits are then ignored). With an
+    unlimited budget (and no injected faults) the result is [Complete v]
+    with [v] {e byte-identical} to [Engine.sum]'s answer. Non-budget
+    failures ([Engine.Unbounded], [Omega.Error.Omega_error], …)
+    propagate unchanged. *)
 val sum :
   ?budget:budget ->
+  ?ctrl:Obs.Budget.ctrl ->
   ?opts:Engine.options ->
   ?stats:Engine.stats ->
   vars:string list ->
@@ -91,9 +101,10 @@ val sum :
   Qpoly.t ->
   outcome
 
-(** [count ?budget ?opts ?stats ~vars f = sum ~vars f 1]. *)
+(** [count ?budget ?ctrl ?opts ?stats ~vars f = sum ~vars f 1]. *)
 val count :
   ?budget:budget ->
+  ?ctrl:Obs.Budget.ctrl ->
   ?opts:Engine.options ->
   ?stats:Engine.stats ->
   vars:string list ->

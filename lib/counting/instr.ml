@@ -89,7 +89,7 @@ let int_array_json a =
   "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
 
 let sample_json = function
-  | Obs.Metrics.Count n -> string_of_int n
+  | Obs.Metrics.Count n | Obs.Metrics.Level n -> string_of_int n
   | Obs.Metrics.Hist h ->
       Printf.sprintf "{\"buckets\":%s,\"counts\":%s,\"count\":%d,\"sum\":%d}"
         (int_array_json h.bounds) (int_array_json h.counts) h.count h.sum
@@ -181,8 +181,9 @@ let pp fmt r =
   List.iter
     (fun (name, s) ->
       match s with
-      | Obs.Metrics.Count 0 -> ()
-      | Obs.Metrics.Count n -> Format.fprintf fmt "  metric %-26s %d@," name n
+      | Obs.Metrics.Count 0 | Obs.Metrics.Level 0 -> ()
+      | Obs.Metrics.Count n | Obs.Metrics.Level n ->
+          Format.fprintf fmt "  metric %-26s %d@," name n
       | Obs.Metrics.Hist h when h.count = 0 -> ()
       | Obs.Metrics.Hist h ->
           Format.fprintf fmt "  metric %-26s n=%d sum=%d %s@," name h.count

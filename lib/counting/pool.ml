@@ -250,9 +250,15 @@ let spawn f =
   match current () with
   | None -> run_now (fun () -> start_task f)
   | Some p ->
+      (* Snapshot the submitting domain's request-scoped state (budget
+         ctrl, prefilter arming, cert recorder, fresh-name cells, memo
+         epoch) so the task observes the submitter's request no matter
+         which domain ends up executing it — a worker, or another
+         request's handler helping via [await]. *)
+      let wrap = Obs.Ambient.capture () in
       let result = Atomic.make Unset in
       let run () =
-        match start_task f with
+        match wrap.Obs.Ambient.run (fun () -> start_task f) with
         | v -> Atomic.set result (Value v)
         | exception e ->
             Atomic.set result (Error (e, Printexc.get_raw_backtrace ()))

@@ -190,29 +190,39 @@ let to_json card =
 (* Sink                                                                *)
 
 (* [enabled] is an atomic flag so the disabled check stays a load (the
-   CLI consults it before assembling anything); the channel itself is
-   mutated only from the recording domain. *)
+   CLI consults it before assembling anything); the channel state and
+   writes are guarded by [sink_mu], because omegad records cards from
+   several handler domains into one sink — each card is written and
+   flushed as one line under the lock, so lines never interleave. *)
 let on = Atomic.make false
+let sink_mu = Mutex.create ()
 let sink_path : string option ref = ref None
 let sink_oc : out_channel option ref = ref None
 
-let close () =
+let sink_locked f =
+  Mutex.lock sink_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_mu) f
+
+let close_locked () =
   match !sink_oc with
   | Some oc ->
       sink_oc := None;
       close_out_noerr oc
   | None -> ()
 
+let close () = sink_locked close_locked
+
 let set_file p =
-  close ();
-  sink_path := p;
+  sink_locked (fun () ->
+      close_locked ();
+      sink_path := p);
   Atomic.set on (p <> None)
 
 let () = set_file (Obs.Envcfg.string_opt "OMEGA_TELEMETRY")
 
 let enabled () = Atomic.get on
 
-let sink_channel () =
+let sink_channel_locked () =
   match !sink_oc with
   | Some oc -> Some oc
   | None -> (
@@ -226,23 +236,33 @@ let sink_channel () =
           Some oc)
 
 let record card =
-  if enabled () then
-    match sink_channel () with
-    | None -> ()
-    | Some oc ->
-        output_string oc (to_json card);
-        output_char oc '\n';
-        flush oc
+  if enabled () then begin
+    (* Serialize outside the lock; write under it. *)
+    let line = to_json card in
+    sink_locked (fun () ->
+        match sink_channel_locked () with
+        | None -> ()
+        | Some oc ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc)
+  end
 
-let () = at_exit close
+let () = Obs.Shutdown.register Obs.Shutdown.Telemetry_close close
 
 (* ------------------------------------------------------------------ *)
 (* Ambient context                                                     *)
 
-let context : (string * string) list ref = ref []
+(* Domain-local, like [Obs.Budget.current]: each request labels its own
+   post-mortems without clobbering a concurrent request's context.
+   Carried onto pool workers by the ambient capture for completeness,
+   though bundles are assembled on the request's own handler domain. *)
+let context : (string * string) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let set_context kvs = context := kvs
-let clear_context () = context := []
+let current_context () = !(Domain.DLS.get context)
+let set_context kvs = Domain.DLS.get context := kvs
+let clear_context () = Domain.DLS.get context := []
 
 (* ------------------------------------------------------------------ *)
 (* Post-mortem bundles                                                 *)
@@ -257,7 +277,7 @@ let pm_seq = Atomic.make 0
 let trace_tail_cap = 200
 
 let sample_json = function
-  | Obs.Metrics.Count n -> string_of_int n
+  | Obs.Metrics.Count n | Obs.Metrics.Level n -> string_of_int n
   | Obs.Metrics.Hist h ->
       let ints a =
         "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
@@ -279,7 +299,7 @@ let bundle_json ~trigger ~card =
     (Printf.sprintf
        "{\"schema\":\"omegacount.postmortem.v1\",\"trigger\":\"%s\",\"ts\":%.6f"
        (escape trigger) (Unix.gettimeofday ()));
-  (match !context with
+  (match current_context () with
   | [] -> ()
   | kvs ->
       Buffer.add_string b ",\"context\":{";
@@ -339,18 +359,52 @@ let write_postmortem ~trigger ?card () =
              output_char oc '\n')
        with Sys_error _ -> ())
 
-let pending : string option ref = ref None
+(* Domain-local: a trip in one request must produce exactly one bundle
+   for that request, flushed by that request's own emit path — not by
+   whichever other request finishes first. *)
+let pending : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let request_postmortem ~trigger =
-  if !pm_dir <> None && !pending = None then pending := Some trigger
+  let cell = Domain.DLS.get pending in
+  if !pm_dir <> None && !cell = None then cell := Some trigger
 
-let pending_postmortem () = !pending
+let pending_postmortem () = !(Domain.DLS.get pending)
 
 let flush_postmortem ?card () =
-  match !pending with
+  let cell = Domain.DLS.get pending in
+  match !cell with
   | None -> ()
   | Some trigger ->
-      pending := None;
+      cell := None;
       write_postmortem ~trigger ?card ()
 
-let () = at_exit (fun () -> flush_postmortem ())
+(* Last-resort flush for CLI paths that trip and exit without emitting:
+   runs in the Postmortem slot, before the telemetry sink closes. *)
+let () =
+  Obs.Shutdown.register Obs.Shutdown.Postmortem (fun () -> flush_postmortem ())
+
+(* The ambient capture carries the request's context and pending cells
+   onto pool workers, so a worker-side [request_postmortem] (e.g. from a
+   governed helper) lands in the owning request's cells. *)
+let () =
+  Obs.Ambient.register (fun () ->
+      let ctx = Domain.DLS.get context in
+      let pend = Domain.DLS.get pending in
+      {
+        Obs.Ambient.run =
+          (fun f ->
+            let cctx = Domain.DLS.get context
+            and cpend = Domain.DLS.get pending in
+            let saved_ctx = !cctx and saved_pend = !cpend in
+            cctx := !ctx;
+            cpend := !pend;
+            Fun.protect
+              ~finally:(fun () ->
+                (* Propagate a worker-recorded trigger back to the
+                   submitting request's cell. *)
+                if !cpend <> None && !pend = None then pend := !cpend;
+                cctx := saved_ctx;
+                cpend := saved_pend)
+              f);
+      })

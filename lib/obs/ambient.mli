@@ -1,0 +1,26 @@
+(** Ambient (request-scoped) state propagation across pool domains.
+
+    Request-scoped state lives in domain-local storage: the submitting
+    domain installs it for the duration of a request, and pool tasks
+    must observe the {e submitter's} view, not whatever the executing
+    worker last held. Each module owning such state registers a capture
+    hook; the pool snapshots all of them at spawn time with {!capture}
+    and runs the task body under the returned wrap.
+
+    A capture hook, when called, reads the calling domain's current
+    state and returns a {!wrap} that installs that state around a thunk
+    on whichever domain runs it (saving and restoring the executing
+    domain's own view, also on exception). *)
+
+type wrap = { run : 'a. (unit -> 'a) -> 'a }
+
+(** The identity wrap: runs the thunk unchanged. *)
+val id_wrap : wrap
+
+(** [register hook] adds a capture hook. Must be called at module-init
+    time (before any task is spawned); not thread-safe. *)
+val register : (unit -> wrap) -> unit
+
+(** Snapshot every registered hook on the calling domain. The returned
+    wrap is reusable and safe to run on any domain. *)
+val capture : unit -> wrap

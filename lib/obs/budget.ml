@@ -1,11 +1,15 @@
 (* Ambient resource budget — see budget.mli.
 
-   The control block is process-global (one governed query at a time,
-   like the engine's ambient instrumentation). All state a checkpoint
-   touches is atomic, because checkpoints run on every pool domain:
-   fuel is a shared countdown, the cancel token is the cross-domain
-   stop signal, and [tripped_r] latches the FIRST reason so every
-   domain reports the same cause no matter which limit it noticed. *)
+   The control block is domain-local: each request (one handler domain
+   in omegad, or the whole process in omcount) installs its own, and
+   pool tasks inherit the submitter's via the ambient capture in
+   [Pool.spawn] — so concurrent requests on a shared pool each charge
+   their own fuel and trip independently. All state a checkpoint
+   touches is atomic, because a ctrl is still shared across every
+   domain running that request's tasks: fuel is a shared countdown, the
+   cancel token is the cross-domain stop signal, and [tripped_r]
+   latches the FIRST reason so every domain reports the same cause no
+   matter which limit it noticed. *)
 
 type reason = Deadline | Fuel | Fanout | Clauses | Cancelled | Injected
 
@@ -50,8 +54,25 @@ let make ?deadline_s ?fuel ?max_fanout ?max_clauses () =
     polls = Atomic.make 0;
   }
 
-let current : ctrl option Atomic.t = Atomic.make None
-let active () = Atomic.get current
+(* The executing domain's view of "the current request's ctrl". A ref
+   cell per domain (not an atomic): only the owning domain reads or
+   writes its cell, on the [charge] hot path. *)
+let current : ctrl option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let active () = !(Domain.DLS.get current)
+
+let () =
+  Ambient.register (fun () ->
+      let captured = active () in
+      {
+        Ambient.run =
+          (fun f ->
+            let cell = Domain.DLS.get current in
+            let saved = !cell in
+            cell := captured;
+            Fun.protect ~finally:(fun () -> cell := saved) f);
+      })
 
 let chaos_hook : (unit -> reason option) option Atomic.t = Atomic.make None
 let chaos_task_hook : (unit -> bool) option Atomic.t = Atomic.make None
@@ -111,7 +132,7 @@ let poll c =
   then trip c Deadline
 
 let charge n =
-  match Atomic.get current with
+  match active () with
   | None -> ()
   | Some c -> (
       poll c;
@@ -122,24 +143,24 @@ let charge n =
       | Some _ -> if Atomic.fetch_and_add c.fuel (-n) < n then trip c Fuel)
 
 let checkpoint () =
-  match Atomic.get current with None -> () | Some c -> poll c
+  match active () with None -> () | Some c -> poll c
 
 let check_fanout n =
-  match Atomic.get current with
+  match active () with
   | None -> ()
   | Some c ->
       poll c;
       if n > c.max_fanout then trip c Fanout
 
 let check_clauses n =
-  match Atomic.get current with
+  match active () with
   | None -> ()
   | Some c ->
       poll c;
       if n > c.max_clauses then trip c Clauses
 
 let task_interrupt () =
-  match Atomic.get current with
+  match active () with
   | None -> None
   | Some c -> (
       match Atomic.get c.tripped_r with
@@ -155,14 +176,15 @@ let task_interrupt () =
             | _ -> None))
 
 let with_ctrl c f =
-  (match Atomic.get current with
+  let cell = Domain.DLS.get current in
+  (match !cell with
   | Some _ ->
       invalid_arg "Obs.Budget.with_ctrl: a control block is already active"
   | None -> ());
-  Atomic.set current (Some c);
+  cell := Some c;
   Fun.protect
     ~finally:(fun () ->
-      Atomic.set current None;
+      cell := None;
       let used = fuel_used c in
       if used > 0 then Metrics.incr ~by:used m_fuel_used)
     f

@@ -54,15 +54,18 @@ val make :
   unit ->
   ctrl
 
-(** [with_ctrl c f] installs [c] as the process-global control block,
+(** [with_ctrl c f] installs [c] as the calling domain's control block,
     runs [f], and uninstalls it (also on exception). Only one control
-    block is active at a time; nesting installs are a programming error
-    (the engine runs one governed query at a time, like
-    [Engine.with_instr]). The [budget.fuel_used] counter is credited on
-    uninstall. *)
+    block is active per domain at a time; nesting installs are a
+    programming error (each domain runs one governed query at a time,
+    like [Engine.with_instr]). Pool tasks spawned under [f] inherit [c]
+    on whatever domain executes them, via the {!Ambient} capture — so
+    concurrent requests on separate handler domains charge separate
+    budgets even though they share the worker pool. The
+    [budget.fuel_used] counter is credited on uninstall. *)
 val with_ctrl : ctrl -> (unit -> 'a) -> 'a
 
-(** The installed control block, if any. *)
+(** The calling domain's installed control block, if any. *)
 val active : unit -> ctrl option
 
 (** [cancel c] requests cancellation: every domain raises

@@ -4,10 +4,29 @@ let warned = Atomic.make 0
 
 let warnings_emitted () = Atomic.get warned
 
+(* A malformed (variable, value) pair warns once per process, not once
+   per parse: a long-running server re-reads OMEGA_* per request, and a
+   thousand identical lines on stderr bury the one that matters. A
+   {e changed} (still malformed) value warns again — it is new
+   information. Guarded by a mutex because handler domains parse
+   concurrently. *)
+let warned_pairs_mu = Mutex.create ()
+let warned_pairs : (string * string, unit) Hashtbl.t = Hashtbl.create 8
+
+let first_warning name value =
+  Mutex.lock warned_pairs_mu;
+  let first = not (Hashtbl.mem warned_pairs (name, value)) in
+  if first then Hashtbl.add warned_pairs (name, value) ();
+  Mutex.unlock warned_pairs_mu;
+  first
+
 let warn name value ~expected ~fallback =
-  Atomic.incr warned;
-  Printf.eprintf "omegacount: warning: %s=%S is invalid (expected %s); using %s\n%!"
-    name value expected fallback
+  if first_warning name value then begin
+    Atomic.incr warned;
+    Printf.eprintf
+      "omegacount: warning: %s=%S is invalid (expected %s); using %s\n%!" name
+      value expected fallback
+  end
 
 let string_opt name =
   match Sys.getenv_opt name with None | Some "" -> None | Some s -> Some s

@@ -8,11 +8,16 @@
 
     Readers re-read the environment on every call (they are cheap and
     cold: once per knob per process, or per test), so tests can exercise
-    them with [Unix.putenv]. The warning counter exists for exactly that:
-    asserting that a malformed value warned and a well-formed one did
-    not. *)
+    them with [Unix.putenv]. A malformed (variable, value) pair warns
+    {e once per process} no matter how many times it is re-parsed — a
+    long-running server re-reads knobs per request, and repeating the
+    same line thousands of times would bury real diagnostics. A changed
+    (still malformed) value warns again. The warning counter exists for
+    the tests: asserting that a malformed value warned and a
+    well-formed one did not. *)
 
-(** Number of warnings emitted since process start (monotonic). *)
+(** Number of warnings emitted since process start (monotonic; counts
+    at most one per distinct (variable, value) pair). *)
 val warnings_emitted : unit -> int
 
 (** [int_or name ?min ?max ~default] reads [name] as an integer within

@@ -156,4 +156,6 @@ let flush () =
         lines;
       Stdlib.flush !sink
 
-let () = at_exit flush
+(* Flush in the last shutdown slot, so lines logged by the post-mortem
+   and telemetry-close steps are never lost (see [Shutdown]). *)
+let () = Shutdown.register Shutdown.Log_flush flush

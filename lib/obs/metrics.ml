@@ -8,6 +8,7 @@
 
 type kind =
   | Counter of { n : int Atomic.t }
+  | Gauge of { g : int Atomic.t }
   | Histogram of {
       bounds : int array;  (* ascending inclusive upper bounds *)
       counts : int Atomic.t array;
@@ -35,6 +36,27 @@ let counter name =
           let m = { name; kind = Counter { n = Atomic.make 0 } } in
           Hashtbl.add registry name m;
           m)
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some ({ kind = Gauge _; _ } as m) -> m
+      | Some _ ->
+          invalid_arg (Printf.sprintf "Metrics.gauge: %s is not a gauge" name)
+      | None ->
+          let m = { name; kind = Gauge { g = Atomic.make 0 } } in
+          Hashtbl.add registry name m;
+          m)
+
+let set m v =
+  match m.kind with
+  | Gauge g -> Atomic.set g.g v
+  | _ -> invalid_arg ("Metrics.set: " ^ m.name ^ " is not a gauge")
+
+let add m by =
+  match m.kind with
+  | Gauge g -> ignore (Atomic.fetch_and_add g.g by)
+  | _ -> invalid_arg ("Metrics.add: " ^ m.name ^ " is not a gauge")
 
 let histogram name ~buckets =
   if Array.length buckets = 0 then
@@ -76,7 +98,7 @@ let histogram name ~buckets =
 let incr ?(by = 1) m =
   match m.kind with
   | Counter c -> ignore (Atomic.fetch_and_add c.n by)
-  | Histogram _ -> invalid_arg ("Metrics.incr: " ^ m.name ^ " is a histogram")
+  | _ -> invalid_arg ("Metrics.incr: " ^ m.name ^ " is not a counter")
 
 let observe m v =
   match m.kind with
@@ -87,18 +109,20 @@ let observe m v =
       ignore (Atomic.fetch_and_add h.counts.(i) 1);
       ignore (Atomic.fetch_and_add h.count 1);
       ignore (Atomic.fetch_and_add h.sum v)
-  | Counter _ -> invalid_arg ("Metrics.observe: " ^ m.name ^ " is a counter")
+  | _ -> invalid_arg ("Metrics.observe: " ^ m.name ^ " is not a histogram")
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
 
 type sample =
   | Count of int
+  | Level of int
   | Hist of { bounds : int array; counts : int array; count : int; sum : int }
 
 let sample_of m =
   match m.kind with
   | Counter c -> Count (Atomic.get c.n)
+  | Gauge g -> Level (Atomic.get g.g)
   | Histogram h ->
       Hist
         {
@@ -118,6 +142,9 @@ let diff after before =
     (fun (name, sa) ->
       match (sa, List.assoc_opt name before) with
       | Count a, Some (Count b) -> (name, Count (a - b))
+      (* gauges are instantaneous levels, not accumulations: keep the
+         [after] value in a diff *)
+      | Level _, _ -> (name, sa)
       | Hist a, Some (Hist b) when a.bounds = b.bounds ->
           ( name,
             Hist
@@ -136,6 +163,7 @@ let reset () =
         (fun _ m ->
           match m.kind with
           | Counter c -> Atomic.set c.n 0
+          | Gauge g -> Atomic.set g.g 0
           | Histogram h ->
               Array.iter (fun c -> Atomic.set c 0) h.counts;
               Atomic.set h.count 0;

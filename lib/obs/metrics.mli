@@ -14,8 +14,13 @@
 type t
 
 (** [counter name] registers (or retrieves) a monotonic counter.
-    @raise Invalid_argument if [name] is registered as a histogram. *)
+    @raise Invalid_argument if [name] is registered as another kind. *)
 val counter : string -> t
+
+(** [gauge name] registers (or retrieves) a gauge: an instantaneous
+    level (queue depth, cache residency) that can go up and down.
+    @raise Invalid_argument if [name] is registered as another kind. *)
+val gauge : string -> t
 
 (** [histogram name ~buckets] registers (or retrieves) a fixed-bucket
     histogram. [buckets] are ascending inclusive upper bounds; an implicit
@@ -26,6 +31,12 @@ val histogram : string -> buckets:int array -> t
 
 val incr : ?by:int -> t -> unit
 
+(** [set g v] stores level [v] in gauge [g]. *)
+val set : t -> int -> unit
+
+(** [add g by] moves gauge [g] by [by] (negative to decrease). *)
+val add : t -> int -> unit
+
 (** [observe h v] adds [v] to histogram [h]: bumps the first bucket whose
     bound is [>= v] (or the overflow bucket) and accumulates count and
     sum. Does not allocate. *)
@@ -35,6 +46,7 @@ val observe : t -> int -> unit
 
 type sample =
   | Count of int
+  | Level of int  (** gauge value; carried through [diff] unchanged *)
   | Hist of { bounds : int array; counts : int array; count : int; sum : int }
 
 (** All registered metrics with their current values, sorted by name. *)

@@ -19,6 +19,9 @@ let render samples =
       | Metrics.Count n ->
           Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" m);
           Buffer.add_string b (Printf.sprintf "%s_total %d\n" m n)
+      | Metrics.Level n ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" m);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" m n)
       | Metrics.Hist h ->
           Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" m);
           (* OpenMetrics buckets are cumulative; the registry stores

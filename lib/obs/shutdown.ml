@@ -1,0 +1,51 @@
+(* Deterministic process-shutdown sequencing — see shutdown.mli.
+
+   [at_exit] runs callbacks in reverse registration order, and
+   registration order is module-initialization order — an accident of
+   link order that once let a final-instant budget trip race the
+   telemetry sink's closing. Instead of each sink registering its own
+   [at_exit], they fill named slots here; one [at_exit] (registered at
+   [Obs] initialization, so it runs after any later-registered dump
+   hooks) runs the slots in a fixed order:
+
+     1. [Postmortem]      — flush any pending post-mortem bundle while
+                            every sink is still open;
+     2. [Telemetry_close] — close the report-card sink;
+     3. [Log_flush]       — flush buffered log lines last, so lines
+                            emitted by the earlier steps are never lost.
+
+   [run] is idempotent: each filled slot runs at most once, so an
+   explicit orderly shutdown (omegad's) followed by process exit does
+   not repeat the steps. *)
+
+type slot = Postmortem | Telemetry_close | Log_flush
+
+(* Fixed execution order. *)
+let order = [ Postmortem; Telemetry_close; Log_flush ]
+
+let mu = Mutex.create ()
+let fillers : (slot * (unit -> unit)) list ref = ref []
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let register slot f = locked (fun () -> fillers := (slot, f) :: !fillers)
+
+let run () =
+  (* Take the fillers out under the lock, run them outside it (a step
+     may log, which takes other locks). Steps registered for the same
+     slot run in registration order. *)
+  let taken = locked (fun () ->
+      let fs = !fillers in
+      fillers := [];
+      fs)
+  in
+  List.iter
+    (fun slot ->
+      List.iter
+        (fun (s, f) -> if s = slot then try f () with _ -> ())
+        (List.rev taken))
+    order
+
+let () = at_exit run

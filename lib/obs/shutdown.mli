@@ -1,0 +1,20 @@
+(** Deterministic process-shutdown sequencing.
+
+    Sinks and flush hooks register into named slots instead of calling
+    [at_exit] directly; a single [at_exit] (plus explicit calls to
+    {!run}) executes the slots in a fixed order — post-mortem flush
+    first, then the telemetry sink close, then the log flush — so a
+    final-instant budget trip can neither lose its log lines nor write
+    a bundle after a sink has closed, regardless of module link order. *)
+
+type slot = Postmortem | Telemetry_close | Log_flush
+
+(** [register slot f] schedules [f] to run in [slot]'s position of the
+    shutdown sequence. Safe from any domain. *)
+val register : slot -> (unit -> unit) -> unit
+
+(** Run all registered steps now, in slot order. Each registered step
+    runs at most once ever; a later [run] (including the [at_exit] one)
+    only runs steps registered since. Exceptions in steps are
+    swallowed: shutdown always completes. *)
+val run : unit -> unit

@@ -125,6 +125,35 @@ let set_enabled b =
   if not b then clear_all ()
 
 (* ------------------------------------------------------------------ *)
+(* Request epochs                                                      *)
+
+(* Cached values embed fresh-minted wild names, and per-request
+   renumbering (see [Presburger.Var.install_counter]) makes those names
+   collide across requests: request B could hit an entry request A wrote
+   and receive A's wilds — wrong identities, and nondeterministic
+   output. Each server request therefore runs under a unique {e epoch};
+   an entry written under another epoch is treated as a miss and removed
+   on sight. A generation bump at request start is not enough: a still
+   in-flight request could repopulate shards after the bump. The default
+   epoch 0 is shared by the whole process, so standalone tools keep full
+   cross-query reuse. *)
+let epoch_cell : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let current_epoch () = !(Domain.DLS.get epoch_cell)
+let set_epoch e = Domain.DLS.get epoch_cell := e
+
+let () =
+  Obs.Ambient.register (fun () ->
+      let captured = current_epoch () in
+      {
+        Obs.Ambient.run =
+          (fun f ->
+            let cell = Domain.DLS.get epoch_cell in
+            let saved = !cell in
+            cell := captured;
+            Fun.protect ~finally:(fun () -> cell := saved) f);
+      })
+
+(* ------------------------------------------------------------------ *)
 (* Bounded LRU tables                                                  *)
 
 module Lru (K : Hashtbl.HashedType) = struct
@@ -134,6 +163,7 @@ module Lru (K : Hashtbl.HashedType) = struct
     key : K.t;
     value : 'v;
     weight : int;
+    epoch : int;  (* request epoch the entry was written under *)
     mutable prev : 'v node option;
     mutable next : 'v node option;
   }
@@ -217,6 +247,14 @@ module Lru (K : Hashtbl.HashedType) = struct
     let s = shard t in
     match H.find_opt s.tbl k with
     | None -> None
+    | Some n when n.epoch <> current_epoch () ->
+        (* Another request's entry: its value may embed that request's
+           fresh names. Drop it so the slot can be refilled under the
+           current epoch. *)
+        unlink s n;
+        H.remove s.tbl n.key;
+        s.total <- s.total - n.weight;
+        None
     | Some n ->
         if s.head != Some n then begin
           unlink s n;
@@ -244,7 +282,16 @@ module Lru (K : Hashtbl.HashedType) = struct
         let c = local () in
         c.evictions <- c.evictions + !evictions
       end;
-      let n = { key = k; value = v; weight; prev = None; next = None } in
+      let n =
+        {
+          key = k;
+          value = v;
+          weight;
+          epoch = current_epoch ();
+          prev = None;
+          next = None;
+        }
+      in
       H.replace s.tbl k n;
       push_front s n;
       s.total <- s.total + weight

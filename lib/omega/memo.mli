@@ -60,6 +60,24 @@ val set_enabled : bool -> unit
     performance only). *)
 val clear_all : unit -> unit
 
+(** {1 Request epochs}
+
+    Cached values embed fresh-minted wild names; when a server renumbers
+    wilds per request ({!Presburger.Var.install_counter}), names collide
+    across requests and a cross-request hit would return another
+    request's variable identities. Entries are therefore salted with the
+    writer's {e epoch}: a lookup from a different epoch is a miss (and
+    removes the entry). The process default is epoch 0 — standalone
+    tools never call {!set_epoch} and keep full cross-query reuse. *)
+
+(** The calling domain's current epoch (0 unless a server set one).
+    Propagated to pool workers by the [Obs.Ambient] capture. *)
+val current_epoch : unit -> int
+
+(** [set_epoch e] makes [e] the calling domain's epoch. The caller is
+    responsible for restoring the previous value afterwards. *)
+val set_epoch : int -> unit
+
 (** {1 Bounded LRU tables}
 
     Classic doubly-linked-list LRU over [Hashtbl.Make]. Tables register

@@ -10,16 +10,31 @@ let verdict_name = function
   | Refuted -> "refuted"
   | Unknown -> "unknown"
 
-(* Process-global so pool worker domains observe the arming done by the
-   submitting domain; the engine runs one adaptive computation at a
-   time (like [Engine.with_instr] and [Obs.Budget.with_ctrl]). *)
-let armed_flag = Atomic.make false
-let armed () = Atomic.get armed_flag
+(* Domain-local, like [Obs.Budget.current]: each request arms the
+   pre-filter for its own plan, and pool worker domains observe the
+   submitting request's arming through the [Obs.Ambient] capture in
+   [Pool.spawn] — concurrent requests with different plans do not
+   disturb each other. *)
+let armed_flag : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+let armed () = !(Domain.DLS.get armed_flag)
 
 let with_armed b f =
-  let saved = Atomic.get armed_flag in
-  Atomic.set armed_flag b;
-  Fun.protect ~finally:(fun () -> Atomic.set armed_flag saved) f
+  let cell = Domain.DLS.get armed_flag in
+  let saved = !cell in
+  cell := b;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let () =
+  Obs.Ambient.register (fun () ->
+      let captured = armed () in
+      {
+        Obs.Ambient.run =
+          (fun f ->
+            let cell = Domain.DLS.get armed_flag in
+            let saved = !cell in
+            cell := captured;
+            Fun.protect ~finally:(fun () -> cell := saved) f);
+      })
 
 let m_probes = Obs.Metrics.counter "planner.probes"
 let m_refuted = Obs.Metrics.counter "planner.probe_refuted"

@@ -2,13 +2,28 @@ type t = Named of string | Wild of int
 
 let named s = Named s
 
-(* Atomic so that concurrent domains never mint the same wild id. Ids are
-   globally monotonic, which keeps the *relative* order of wilds created
-   within one task identical to a serial run — and [compare] below only
-   ever observes relative order. *)
-let counter = Atomic.make 0
-let fresh_wild () = Wild (1 + Atomic.fetch_and_add counter 1)
-let reset_fresh () = Atomic.set counter 0
+(* Wild ids come from a counter cell that is atomic (concurrent domains
+   minting from the same cell never collide; ids from one cell are
+   monotonic, which keeps the *relative* order of wilds created within
+   one task identical to a serial run — and [compare] below only ever
+   observes relative order) and *swappable per domain*: a long-running
+   server installs a fresh cell per request so each request numbers its
+   wilds from 1 regardless of what ran before, making answers and
+   certificates byte-identical across repeats. The default cell is
+   process-global, so standalone tools behave exactly as before. This
+   module cannot see [Obs]; the ambient propagation hook that carries
+   the installed cell onto pool worker domains lives in
+   [Counting.Engine]. *)
+let default_counter = Atomic.make 0
+
+let counter_cell : int Atomic.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref default_counter)
+
+let current_counter () = !(Domain.DLS.get counter_cell)
+let install_counter c = Domain.DLS.get counter_cell := c
+let new_counter () = Atomic.make 0
+let fresh_wild () = Wild (1 + Atomic.fetch_and_add (current_counter ()) 1)
+let reset_fresh () = Atomic.set (current_counter ()) 0
 
 let is_wild = function Wild _ -> true | Named _ -> false
 

@@ -1,0 +1,76 @@
+(* Bounded admission queue — see admission.mli. *)
+
+let m_depth = Obs.Metrics.gauge "serve.queue_depth"
+
+let m_shed = Obs.Metrics.counter "serve.shed"
+
+let m_admitted = Obs.Metrics.counter "serve.admitted"
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  limit : int;
+  mutable closed : bool;
+}
+
+let create ~limit =
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    limit = max 1 limit;
+    closed = false;
+  }
+
+let submit t x =
+  Mutex.lock t.mu;
+  let depth = Queue.length t.q in
+  let r =
+    if t.closed then `Closed
+    else if depth >= t.limit then begin
+      Obs.Metrics.incr m_shed;
+      `Shed depth
+    end
+    else begin
+      Queue.add x t.q;
+      Obs.Metrics.set m_depth (depth + 1);
+      Obs.Metrics.incr m_admitted;
+      Condition.signal t.nonempty;
+      `Accepted
+    end
+  in
+  Mutex.unlock t.mu;
+  r
+
+let take t =
+  Mutex.lock t.mu;
+  let rec loop () =
+    match Queue.take_opt t.q with
+    | Some x ->
+        Obs.Metrics.set m_depth (Queue.length t.q);
+        Some x
+    | None ->
+        if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mu;
+          loop ()
+        end
+  in
+  let r = loop () in
+  Mutex.unlock t.mu;
+  r
+
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu
+
+let depth t =
+  Mutex.lock t.mu;
+  let d = Queue.length t.q in
+  Mutex.unlock t.mu;
+  d
+
+let limit t = t.limit

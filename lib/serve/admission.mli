@@ -1,0 +1,30 @@
+(** Bounded admission queue: the server's load-shedding front door.
+
+    The reader loop {!submit}s parsed requests; handler domains block in
+    {!take}. When the queue is at its limit, [submit] returns
+    [`Shed depth] instead of enqueueing — the caller answers with a
+    typed [status:"shed"] body and the query is never started, so a
+    burst degrades to fast rejections rather than unbounded latency.
+
+    Maintains [serve.queue_depth] (gauge), [serve.admitted] and
+    [serve.shed] (counters) in {!Obs.Metrics}. *)
+
+type 'a t
+
+val create : limit:int -> 'a t
+
+(** [`Accepted], [`Shed depth] (queue full; [depth] is the current
+    depth), or [`Closed] (server draining). *)
+val submit : 'a t -> 'a -> [ `Accepted | `Shed of int | `Closed ]
+
+(** Blocking dequeue; [None] once the queue is closed {e and} drained
+    (handler domains exit on [None]). *)
+val take : 'a t -> 'a option
+
+(** Stop admitting; wake all takers. Already-queued requests still
+    drain. *)
+val close : 'a t -> unit
+
+val depth : 'a t -> int
+
+val limit : 'a t -> int

@@ -1,0 +1,46 @@
+(** Whole-query answer cache: rendered JSON bodies keyed on the
+    canonical query fingerprint plus every answer-affecting option.
+
+    Values are the exact body strings the server would otherwise render
+    (see {!Counting.Answer}), so a hit is byte-identical to the miss
+    that filled it {e by construction} — no re-rendering, no volatile
+    fields. Only [status:"complete"] bodies are cached (partial bodies
+    depend on the budget that tripped). The cache is shared across
+    handler domains (mutex-guarded LRU with optional TTL), because hits
+    must be visible whichever domain picks the repeat up.
+
+    Maintains [serve.cache_hits] / [serve.cache_misses] /
+    [serve.cache_evictions] (counters) and [serve.cache_entries]
+    (gauge). *)
+
+type t
+
+val create : capacity:int -> ?ttl_s:float -> unit -> t
+
+(** LRU-promoting lookup; counts a hit or a miss. An expired entry is a
+    miss (and is reclaimed). *)
+val find : t -> string -> string option
+
+(** Insert (replacing any entry under the same key), then evict from
+    the LRU tail down to capacity. *)
+val add : t -> string -> string -> unit
+
+(** Drop every expired entry (idle-sweep duty); returns how many. *)
+val purge_expired : t -> int
+
+val clear : t -> unit
+
+val length : t -> int
+
+(** [key ~fingerprint ~opts ~merge ~certify ~at] — the canonical cache
+    key: the {!Counting.Telemetry.fingerprint} of the parsed query plus
+    the option fields, the merge and certify flags, and the (sorted)
+    evaluation bindings. Two requests with equal keys are guaranteed
+    the same body bytes under per-request contexts. *)
+val key :
+  fingerprint:string ->
+  opts:Counting.Engine.options ->
+  merge:bool ->
+  certify:bool ->
+  at:(string * Zint.t) list ->
+  string

@@ -1,0 +1,35 @@
+(* Minimal blocking omegad client — see client.mli. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(retries = 0) path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+        { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.05;
+        go (n - 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  go retries
+
+let send t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t = try Some (input_line t.ic) with End_of_file -> None
+
+let request t line =
+  send t line;
+  match recv t with
+  | Some r -> r
+  | None -> failwith "omegad client: connection closed before response"
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

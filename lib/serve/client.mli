@@ -1,0 +1,24 @@
+(** Minimal blocking JSONL client for omegad (tests, the load
+    generator, and [omegad --client]).
+
+    One request line in, one response line out; suitable for callers
+    that keep at most one request in flight per connection. Pipelined
+    callers should use {!send} / {!recv} directly and match responses
+    on [id]. *)
+
+type t
+
+(** [connect ?retries path] opens the Unix socket at [path], retrying
+    [retries] times at 50 ms intervals while the socket does not exist
+    yet (server still starting). *)
+val connect : ?retries:int -> string -> t
+
+val send : t -> string -> unit
+
+(** Next response line; [None] on EOF. *)
+val recv : t -> string option
+
+(** [send] then [recv], failing on EOF. *)
+val request : t -> string -> string
+
+val close : t -> unit

@@ -1,0 +1,57 @@
+(* Per-request context installation — see ctx.mli. *)
+
+(* Epoch 0 is the process-wide default (standalone tools); requests
+   start at 1 so a request never shares memo entries with ambient
+   warm-up state. *)
+let next_epoch = Atomic.make 1
+
+let fresh_epoch () = Atomic.fetch_and_add next_epoch 1
+
+let with_request ?(context = []) f =
+  let epoch = fresh_epoch () in
+  let saved_var = Presburger.Var.current_counter () in
+  let saved_sum = Counting.Engine.current_sum_var_counter () in
+  let saved_epoch = Omega.Memo.current_epoch () in
+  Presburger.Var.install_counter (Presburger.Var.new_counter ());
+  Counting.Engine.install_sum_var_counter (Atomic.make 0);
+  Omega.Memo.set_epoch epoch;
+  Counting.Telemetry.set_context context;
+  Fun.protect
+    ~finally:(fun () ->
+      Counting.Telemetry.clear_context ();
+      Omega.Memo.set_epoch saved_epoch;
+      Counting.Engine.install_sum_var_counter saved_sum;
+      Presburger.Var.install_counter saved_var)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* In-flight control blocks                                            *)
+
+let inflight : (int, Obs.Budget.ctrl) Hashtbl.t = Hashtbl.create 64
+
+let inflight_mu = Mutex.create ()
+
+let next_token = Atomic.make 0
+
+let register_ctrl c =
+  let tok = Atomic.fetch_and_add next_token 1 in
+  Mutex.lock inflight_mu;
+  Hashtbl.replace inflight tok c;
+  Mutex.unlock inflight_mu;
+  tok
+
+let unregister_ctrl tok =
+  Mutex.lock inflight_mu;
+  Hashtbl.remove inflight tok;
+  Mutex.unlock inflight_mu
+
+let cancel_inflight () =
+  Mutex.lock inflight_mu;
+  let ctrls = Hashtbl.fold (fun _ c acc -> c :: acc) inflight [] in
+  Mutex.unlock inflight_mu;
+  List.iter Obs.Budget.cancel ctrls;
+  List.length ctrls
+
+let with_ctrl_registered c f =
+  let tok = register_ctrl c in
+  Fun.protect ~finally:(fun () -> unregister_ctrl tok) f

@@ -1,0 +1,455 @@
+(* omegad server core — see server.mli. *)
+
+module J = Obs.Ojson
+
+let m_requests = Obs.Metrics.counter "serve.requests"
+
+let m_completed = Obs.Metrics.counter "serve.completed"
+
+let m_partial = Obs.Metrics.counter "serve.partial"
+
+let m_errors = Obs.Metrics.counter "serve.errors"
+
+let m_sweeps = Obs.Metrics.counter "serve.sweeps"
+
+let m_inflight = Obs.Metrics.gauge "serve.inflight"
+
+type config = {
+  socket_path : string;
+  handlers : int;
+  queue_limit : int;
+  cache_capacity : int;
+  cache_ttl_s : float option;
+  idle_sweep_s : float option;
+}
+
+let default_config =
+  {
+    socket_path = "omegad.sock";
+    handlers = 2;
+    queue_limit = 64;
+    cache_capacity = 256;
+    cache_ttl_s = Some 300.;
+    idle_sweep_s = Some 30.;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;  (* partial-line accumulator; main loop only *)
+  wmu : Mutex.t;  (* guards writes and [alive] *)
+  mutable alive : bool;
+}
+
+type job = { jconn : conn; jid : J.t; jreq : Proto.query_req }
+
+type t = {
+  cfg : config;
+  queue : job Admission.t;
+  cache : Cache.t;
+  stopping : bool Atomic.t;
+  active : int Atomic.t;  (* requests being processed right now *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Connection writes (any domain)                                      *)
+
+(* The response channel must survive anything a handler throws at it:
+   a peer that vanished mid-request downgrades to a dropped response,
+   never to a handler crash. [alive] is checked and cleared under
+   [wmu], and [close_conn] takes the same lock, so a write never races
+   a close on this connection. *)
+let send_line conn line =
+  Mutex.lock conn.wmu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wmu)
+    (fun () ->
+      if conn.alive then
+        let payload = Bytes.of_string (line ^ "\n") in
+        let len = Bytes.length payload in
+        let rec push off =
+          if off < len then
+            match Unix.write conn.fd payload off (len - off) with
+            | n -> push (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+        in
+        match push 0 with
+        | () -> ()
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            conn.alive <- false)
+
+let close_conn conn =
+  Mutex.lock conn.wmu;
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end;
+  Mutex.unlock conn.wmu
+
+(* ------------------------------------------------------------------ *)
+(* Request processing (handler domains)                                *)
+
+(* Splice a certificate object into a rendered body (both are canonical
+   JSON objects, so the certificate goes before the closing brace). *)
+let with_certificate body cert =
+  Printf.sprintf "%s,\"certificate\":%s}"
+    (String.sub body 0 (String.length body - 1))
+    (J.render cert)
+
+(* The server cannot use [Engine.with_instr] (the phase table is
+   process-global and [collect] is not reentrant across concurrent
+   handlers), so telemetry cards carry a minimal report: real label,
+   wall time and options; empty phases/memo/GC deltas. *)
+let minimal_report ~wall_s ~options =
+  {
+    Counting.Instr.label = "omegad";
+    wall_s;
+    phases = [];
+    memo = Omega.Memo.zero_counters ();
+    counts = [];
+    metrics = [];
+    options;
+    minor_words = 0.;
+    promoted_words = 0.;
+    major_words = 0.;
+  }
+
+let emit_card ~opts ~(q : Preslang.query) ~outcome ~wall_s ~meta =
+  if
+    Counting.Telemetry.enabled ()
+    || Counting.Telemetry.pending_postmortem () <> None
+  then begin
+    let card =
+      Counting.Telemetry.build ~label:"omegad" ~opts ~vars:q.Preslang.vars
+        ~summand:q.Preslang.summand ~outcome
+        ~report:(minimal_report ~wall_s ~options:meta)
+        q.Preslang.formula
+    in
+    if Counting.Telemetry.enabled () then Counting.Telemetry.record card;
+    Counting.Telemetry.flush_postmortem ~card ()
+  end
+  else Counting.Telemetry.flush_postmortem ()
+
+(* Compute one admitted count request to a response body. Runs under
+   the request's own context; every failure mode maps to a typed body,
+   so the handler loop (and the server) never sees an exception. *)
+let answer_body t (req : Proto.query_req) =
+  Obs.Metrics.incr m_requests;
+  match Preslang.parse_query req.query with
+  | exception Preslang.Parse_error (pos, msg) ->
+      Obs.Metrics.incr m_errors;
+      Proto.error_body ~cls:"parse_error"
+        ~msg:(Printf.sprintf "at offset %d: %s" pos msg)
+  | q -> (
+      let opts = Proto.opts_of req in
+      let fingerprint =
+        Counting.Telemetry.fingerprint ~vars:q.Preslang.vars
+          ~summand:q.Preslang.summand q.Preslang.formula
+      in
+      let ckey =
+        Cache.key ~fingerprint ~opts ~merge:req.merge ~certify:req.certify
+          ~at:req.at
+      in
+      match Cache.find t.cache ckey with
+      | Some body ->
+          Obs.Metrics.incr m_completed;
+          body
+      | None ->
+          let context =
+            ("query", "omegad") :: ("fingerprint", fingerprint)
+            :: Counting.Engine.opts_fields opts
+          in
+          let meta =
+            Counting.Engine.opts_fields opts
+            @ [ ("fingerprint", fingerprint) ]
+          in
+          Ctx.with_request ~context (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let ctrl = Counting.Governor.ctrl_of req.budget in
+              let compute () =
+                Ctx.with_ctrl_registered ctrl (fun () ->
+                    Counting.Governor.sum ~ctrl ~opts ~vars:q.Preslang.vars
+                      q.Preslang.formula q.Preslang.summand)
+              in
+              match
+                if req.certify then begin
+                  let outcome, events, dropped =
+                    Counting.Certify.with_recording compute
+                  in
+                  (outcome, Some (events, dropped))
+                end
+                else (compute (), None)
+              with
+              | outcome, recorded ->
+                  let wall_s = Unix.gettimeofday () -. t0 in
+                  let merged v =
+                    if req.merge then Counting.Merge.merge_residues v else v
+                  in
+                  let certificate outcome =
+                    match recorded with
+                    | None -> None
+                    | Some (events, dropped) ->
+                        Some
+                          (Counting.Certify.build ~opts ~vars:q.Preslang.vars
+                             ~summand:q.Preslang.summand ~query:req.query
+                             ~ats:(if req.at = [] then [] else [ req.at ])
+                             ~outcome ~events ~dropped q.Preslang.formula)
+                  in
+                  let body, tel_outcome, cacheable =
+                    match outcome with
+                    | Counting.Governor.Complete v ->
+                        let v = merged v in
+                        let body = Counting.Answer.complete_json ~at:req.at v in
+                        let body =
+                          match certificate (Counting.Certify.Complete v) with
+                          | Some c -> with_certificate body c
+                          | None -> body
+                        in
+                        Obs.Metrics.incr m_completed;
+                        (body, Counting.Telemetry.Complete, true)
+                    | Counting.Governor.Partial p ->
+                        let p =
+                          {
+                            p with
+                            Counting.Governor.pieces =
+                              merged p.Counting.Governor.pieces;
+                            lower = merged p.Counting.Governor.lower;
+                            upper = Option.map merged p.Counting.Governor.upper;
+                          }
+                        in
+                        let body = Counting.Answer.partial_json ~at:req.at p in
+                        let body =
+                          match certificate (Counting.Certify.Partial p) with
+                          | Some c -> with_certificate body c
+                          | None -> body
+                        in
+                        Obs.Metrics.incr m_partial;
+                        ( body,
+                          Counting.Telemetry.Partial
+                            (Counting.Governor.reason_name
+                               p.Counting.Governor.reason),
+                          false )
+                  in
+                  emit_card ~opts ~q ~outcome:tel_outcome ~wall_s ~meta;
+                  if cacheable then Cache.add t.cache ckey body;
+                  body
+              | exception Counting.Engine.Unbounded msg ->
+                  let wall_s = Unix.gettimeofday () -. t0 in
+                  Obs.Metrics.incr m_errors;
+                  emit_card ~opts ~q
+                    ~outcome:(Counting.Telemetry.Failed "unbounded")
+                    ~wall_s ~meta;
+                  Proto.error_body ~cls:"unbounded" ~msg
+              | exception Omega.Error.Omega_error { phase; what; context } ->
+                  let wall_s = Unix.gettimeofday () -. t0 in
+                  let msg = Omega.Error.to_string ~phase ~what context in
+                  Obs.Metrics.incr m_errors;
+                  Obs.Log.error (fun () -> msg);
+                  Counting.Telemetry.write_postmortem ~trigger:"omega_error" ();
+                  emit_card ~opts ~q
+                    ~outcome:(Counting.Telemetry.Failed "omega_error")
+                    ~wall_s ~meta;
+                  Proto.error_body ~cls:"omega_error" ~msg
+              | exception exn ->
+                  let wall_s = Unix.gettimeofday () -. t0 in
+                  let msg = Printexc.to_string exn in
+                  Obs.Metrics.incr m_errors;
+                  Obs.Log.error (fun () -> "omegad: internal: " ^ msg);
+                  Counting.Telemetry.write_postmortem ~trigger:"internal" ();
+                  emit_card ~opts ~q
+                    ~outcome:(Counting.Telemetry.Failed "internal")
+                    ~wall_s ~meta;
+                  Proto.error_body ~cls:"internal" ~msg))
+
+let handler_loop t =
+  let rec loop () =
+    match Admission.take t.queue with
+    | None -> ()
+    | Some job ->
+        Atomic.incr t.active;
+        Obs.Metrics.set m_inflight (Atomic.get t.active);
+        let body =
+          (* During drain, already-queued requests are refused rather
+             than started (starting one after cancel_inflight would let
+             it run to completion and stall the drain). *)
+          if Atomic.get t.stopping then
+            Proto.error_body ~cls:"unavailable" ~msg:"server is shutting down"
+          else
+            (* Crash-only: a bug anywhere in the request path degrades to
+               a typed internal error for this request; the loop lives. *)
+            try answer_body t job.jreq
+            with exn ->
+              Obs.Metrics.incr m_errors;
+              Proto.error_body ~cls:"internal" ~msg:(Printexc.to_string exn)
+        in
+        Atomic.decr t.active;
+        Obs.Metrics.set m_inflight (Atomic.get t.active);
+        send_line job.jconn (Proto.with_id job.jid body);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Reader / accept loop (main domain)                                  *)
+
+let metrics_text () = Obs.Openmetrics.render (Obs.Metrics.snapshot ())
+
+(* Dispatch one complete request line read from [conn]. Inline verbs
+   (ping/metrics/shutdown) answer from the reader loop; count requests
+   go through admission. *)
+let dispatch t conn line =
+  if String.trim line <> "" then
+    match Proto.parse line with
+    | Error (id, msg) ->
+        Obs.Metrics.incr m_errors;
+        send_line conn (Proto.with_id id (Proto.error_body ~cls:"bad_request" ~msg))
+    | Ok { Proto.id; op = Proto.Ping } ->
+        send_line conn (Proto.with_id id Proto.pong_body)
+    | Ok { Proto.id; op = Proto.Metrics } ->
+        send_line conn (Proto.with_id id (Proto.metrics_body (metrics_text ())))
+    | Ok { Proto.id; op = Proto.Shutdown } ->
+        send_line conn (Proto.with_id id Proto.shutdown_body);
+        Atomic.set t.stopping true
+    | Ok { Proto.id; op = Proto.Count req } -> (
+        match Admission.submit t.queue { jconn = conn; jid = id; jreq = req } with
+        | `Accepted -> ()
+        | `Shed depth ->
+            send_line conn
+              (Proto.with_id id
+                 (Proto.shed_body ~depth ~limit:(Admission.limit t.queue)))
+        | `Closed ->
+            send_line conn
+              (Proto.with_id id
+                 (Proto.error_body ~cls:"unavailable"
+                    ~msg:"server is shutting down")))
+
+(* Pull complete lines out of a connection's accumulator. *)
+let drain_lines t conn =
+  let s = Buffer.contents conn.rbuf in
+  let n = String.length s in
+  let start = ref 0 in
+  (try
+     while true do
+       let nl = String.index_from s !start '\n' in
+       dispatch t conn (String.sub s !start (nl - !start));
+       start := nl + 1
+     done
+   with Not_found -> ());
+  if !start > 0 then begin
+    Buffer.clear conn.rbuf;
+    Buffer.add_substring conn.rbuf s !start (n - !start)
+  end
+
+let read_chunk t conn =
+  let bytes = Bytes.create 65536 in
+  match Unix.read conn.fd bytes 0 65536 with
+  | 0 -> false
+  | n ->
+      Buffer.add_subbytes conn.rbuf bytes 0 n;
+      drain_lines t conn;
+      true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> false
+
+let install_signal_handlers t =
+  (* Peers that vanish must surface as EPIPE write errors, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let stop _ = Atomic.set t.stopping true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+
+let run ?(config = default_config) () =
+  let t =
+    {
+      cfg = config;
+      queue = Admission.create ~limit:config.queue_limit;
+      cache =
+        Cache.create ~capacity:config.cache_capacity
+          ?ttl_s:config.cache_ttl_s ();
+      stopping = Atomic.make false;
+      active = Atomic.make 0;
+    }
+  in
+  install_signal_handlers t;
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 64;
+  Obs.Log.info
+    ~fields:(fun () ->
+      [
+        ("socket", Obs.Trace.Str config.socket_path);
+        ("handlers", Obs.Trace.Int config.handlers);
+        ("queue_limit", Obs.Trace.Int config.queue_limit);
+      ])
+    (fun () -> "omegad listening");
+  let handlers =
+    List.init (max 1 config.handlers) (fun _ ->
+        Domain.spawn (fun () -> handler_loop t))
+  in
+  let conns = ref [] in
+  let last_activity = ref (Unix.gettimeofday ()) in
+  let maybe_sweep () =
+    match t.cfg.idle_sweep_s with
+    | Some idle_s
+      when Unix.gettimeofday () -. !last_activity >= idle_s
+           && Admission.depth t.queue = 0
+           && Atomic.get t.active = 0 ->
+        (* Idle housekeeping: retire expired cache entries and drop the
+           solver memo (whose entries are epoch-dead once their request
+           finished, so this is pure reclamation). *)
+        ignore (Cache.purge_expired t.cache);
+        Omega.Memo.clear_all ();
+        Obs.Metrics.incr m_sweeps;
+        last_activity := Unix.gettimeofday ()
+    | _ -> ()
+  in
+  while not (Atomic.get t.stopping) do
+    let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+    match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        if readable = [] then maybe_sweep ()
+        else begin
+          last_activity := Unix.gettimeofday ();
+          List.iter
+            (fun fd ->
+              if fd == listen_fd then begin
+                match Unix.accept listen_fd with
+                | cfd, _ ->
+                    conns :=
+                      {
+                        fd = cfd;
+                        rbuf = Buffer.create 256;
+                        wmu = Mutex.create ();
+                        alive = true;
+                      }
+                      :: !conns
+                | exception Unix.Unix_error _ -> ()
+              end
+              else
+                match List.find_opt (fun c -> c.fd == fd) !conns with
+                | None -> ()
+                | Some conn ->
+                    if not (read_chunk t conn) then begin
+                      close_conn conn;
+                      conns := List.filter (fun c -> c != conn) !conns
+                    end)
+            readable
+        end
+  done;
+  (* Drain: stop admitting, cancel in-flight work (each request degrades
+     to a sound Partial at its next budget checkpoint), let handlers
+     finish writing, then tear the socket down. *)
+  Obs.Log.info (fun () -> "omegad draining");
+  Admission.close t.queue;
+  let cancelled = Ctx.cancel_inflight () in
+  if cancelled > 0 then
+    Obs.Log.info
+      ~fields:(fun () -> [ ("cancelled", Obs.Trace.Int cancelled) ])
+      (fun () -> "cancelled in-flight requests");
+  List.iter Domain.join handlers;
+  List.iter close_conn !conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  Obs.Log.info (fun () -> "omegad stopped")

@@ -1,0 +1,538 @@
+(* omegad server battery (the Serve library): protocol round-trips,
+   per-request
+   isolation (byte-identical replays, certificates included), admission
+   shedding, the whole-answer cache, chaos under concurrent load, and
+   crash-only drain on SIGTERM.
+
+   Every test runs a real server (own Unix socket, handler domains) in
+   this process and talks to it through Serve.Client. *)
+
+module J = Obs.Ojson
+module E = Counting.Engine
+module Chaos = Counting.Chaos
+
+let sock_seq = ref 0
+
+let fresh_sock () =
+  incr sock_seq;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "omegad-test-%d-%d.sock" (Unix.getpid ()) !sock_seq)
+
+let with_server ?(handlers = 2) ?(queue = 64) ?(cache = 256) ?cache_ttl_s f =
+  let path = fresh_sock () in
+  let cfg =
+    {
+      Serve.Server.socket_path = path;
+      handlers;
+      queue_limit = queue;
+      cache_capacity = cache;
+      cache_ttl_s;
+      idle_sweep_s = None;
+    }
+  in
+  let d = Domain.spawn (fun () -> Serve.Server.run ~config:cfg ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Best-effort stop for tests that did not shut the server down
+         themselves; join unconditionally. *)
+      (try
+         let c = Serve.Client.connect ~retries:20 path in
+         ignore (Serve.Client.request c {|{"op":"shutdown"}|});
+         Serve.Client.close c
+       with _ -> ());
+      Domain.join d)
+    (fun () -> f path)
+
+(* Responses are [{"id":…,BODY-minus-brace]; drop the id field so test
+   expectations compare against the body the server rendered (ids in
+   these tests are scalars, so the first comma ends the id field). *)
+let strip_id resp =
+  match String.index_opt resp ',' with
+  | Some i -> "{" ^ String.sub resp (i + 1) (String.length resp - i - 1)
+  | None -> resp
+
+let member name resp =
+  match J.parse resp with Ok o -> J.member name o | Error _ -> None
+
+let status resp =
+  match member "status" resp with Some (J.Str s) -> s | _ -> "<none>"
+
+(* The serially-computed body for a complete query — exactly the
+   rendering pipeline of Server.answer_body, under its own fresh
+   request context, with chaos off. *)
+let serial_complete_body ?(opts = E.default) ~at qtext =
+  Chaos.set None;
+  let q = Preslang.parse_query qtext in
+  Serve.Ctx.with_request (fun () ->
+      match
+        Counting.Governor.sum ~opts ~vars:q.Preslang.vars q.Preslang.formula
+          q.Preslang.summand
+      with
+      | Counting.Governor.Complete v ->
+          Counting.Answer.complete_json ~at (Counting.Merge.merge_residues v)
+      | Counting.Governor.Partial _ ->
+          Alcotest.failf "serial run of %s was partial" qtext)
+
+let serial_certified_body ?(opts = E.default) ~at qtext =
+  Chaos.set None;
+  let q = Preslang.parse_query qtext in
+  Serve.Ctx.with_request (fun () ->
+      let outcome, events, dropped =
+        Counting.Certify.with_recording (fun () ->
+            Counting.Governor.sum ~opts ~vars:q.Preslang.vars
+              q.Preslang.formula q.Preslang.summand)
+      in
+      match outcome with
+      | Counting.Governor.Complete v ->
+          let v = Counting.Merge.merge_residues v in
+          let body = Counting.Answer.complete_json ~at v in
+          let cert =
+            Counting.Certify.build ~opts ~vars:q.Preslang.vars
+              ~summand:q.Preslang.summand ~query:qtext
+              ~ats:(if at = [] then [] else [ at ])
+              ~outcome:(Counting.Certify.Complete v) ~events ~dropped
+              q.Preslang.formula
+          in
+          Printf.sprintf "%s,\"certificate\":%s}"
+            (String.sub body 0 (String.length body - 1))
+            (J.render cert)
+      | Counting.Governor.Partial _ ->
+          Alcotest.failf "serial certified run of %s was partial" qtext)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round-trip                                                 *)
+
+let test_protocol () =
+  Chaos.set None;
+  with_server (fun path ->
+      let c = Serve.Client.connect ~retries:100 path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          Alcotest.(check string)
+            "ping" {|{"id":1,"status":"ok","pong":true}|}
+            (Serve.Client.request c {|{"id":1,"op":"ping"}|});
+          let r =
+            Serve.Client.request c
+              {|{"id":2,"query":"count { i, j : 1 <= i <= j <= n }","at":{"n":100}}|}
+          in
+          Alcotest.(check string)
+            "complete answer matches serial pipeline"
+            (serial_complete_body ~at:[ ("n", Zint.of_int 100) ]
+               "count { i, j : 1 <= i <= j <= n }")
+            (strip_id r);
+          (match member "eval" r with
+          | Some (J.Num f) -> Alcotest.(check int) "eval" 5050 (int_of_float f)
+          | _ -> Alcotest.fail "complete answer carries no eval");
+          (* string ids are echoed verbatim *)
+          let r = Serve.Client.request c {|{"id":"abc","op":"ping"}|} in
+          Alcotest.(check string)
+            "string id" {|{"id":"abc","status":"ok","pong":true}|} r;
+          (* malformed JSON → bad_request; the connection survives *)
+          let r = Serve.Client.request c "{nope" in
+          Alcotest.(check string) "bad json status" "error" (status r);
+          (match member "class" r with
+          | Some (J.Str "bad_request") -> ()
+          | _ -> Alcotest.fail "bad json should be class bad_request");
+          (* bad query text → typed parse_error from the handler *)
+          let r =
+            Serve.Client.request c {|{"id":5,"query":"count { i : 1 <= }"}|}
+          in
+          Alcotest.(check string) "parse error status" "error" (status r);
+          (match member "class" r with
+          | Some (J.Str "parse_error") -> ()
+          | _ -> Alcotest.fail "bad query should be class parse_error");
+          (* unbounded region → typed unbounded error *)
+          let r =
+            Serve.Client.request c {|{"id":6,"query":"count { i : i >= 1 }"}|}
+          in
+          (match member "class" r with
+          | Some (J.Str "unbounded") -> ()
+          | _ -> Alcotest.failf "unbounded query answered %s" r);
+          (* unknown op *)
+          let r = Serve.Client.request c {|{"id":7,"op":"frobnicate"}|} in
+          Alcotest.(check string) "unknown op status" "error" (status r);
+          (* budget-tripped query → sound typed partial *)
+          let r =
+            Serve.Client.request c
+              {|{"id":8,"query":"count { i, j : 1 <= i and j <= n and 2*i <= 3*j }","at":{"n":100},"fuel":50}|}
+          in
+          Alcotest.(check string) "fuel partial" "partial" (status r);
+          (match member "reason" r with
+          | Some (J.Str "fuel") -> ()
+          | _ -> Alcotest.fail "partial should carry reason fuel");
+          (* metrics verb serves the OpenMetrics registry inline *)
+          let r = Serve.Client.request c {|{"id":9,"op":"metrics"}|} in
+          (match member "metrics" r with
+          | Some (J.Str text) ->
+              Alcotest.(check bool)
+                "metrics text has serve.requests" true
+                (let re = "omega_serve_requests_total" in
+                 let rec has i =
+                   i + String.length re <= String.length text
+                   && (String.sub text i (String.length re) = re || has (i + 1))
+                 in
+                 has 0)
+          | _ -> Alcotest.fail "metrics verb returned no text")))
+
+(* ------------------------------------------------------------------ *)
+(* Replay isolation: 100 interleaved repeats are byte-identical        *)
+
+let test_replay_interleaved () =
+  Chaos.set None;
+  (* TTL -1 forces every lookup to miss: each repeat recomputes from a
+     fresh per-request context, which is exactly what the byte-identity
+     claim is about (certificates and fingerprints included). *)
+  with_server ~handlers:2 ~cache:1 ~cache_ttl_s:(-1.) (fun path ->
+      let q1 = "count { i, j : 1 <= i <= j <= n }" in
+      let q2 = "count { i, j : 1 <= i and j <= n and 2*i <= 3*j }" in
+      let expected1 =
+        serial_certified_body ~at:[ ("n", Zint.of_int 40) ] q1
+      in
+      let expected2 =
+        serial_certified_body ~at:[ ("n", Zint.of_int 40) ] q2
+      in
+      let line q id =
+        Printf.sprintf
+          {|{"id":%d,"query":"%s","at":{"n":40},"certify":true}|} id q
+      in
+      let run_client q expected =
+        Domain.spawn (fun () ->
+            let c = Serve.Client.connect ~retries:100 path in
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () ->
+                let bad = ref 0 in
+                for i = 1 to 100 do
+                  let r = Serve.Client.request c (line q i) in
+                  if strip_id r <> expected then incr bad
+                done;
+                !bad))
+      in
+      let d1 = run_client q1 expected1 in
+      let d2 = run_client q2 expected2 in
+      let bad1 = Domain.join d1 and bad2 = Domain.join d2 in
+      Alcotest.(check int) "q1: all 100 replays byte-identical" 0 bad1;
+      Alcotest.(check int) "q2: all 100 replays byte-identical" 0 bad2)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+
+let test_shed () =
+  Chaos.set None;
+  with_server ~handlers:1 ~queue:2 ~cache:1 ~cache_ttl_s:(-1.) (fun path ->
+      let c = Serve.Client.connect ~retries:100 path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          (* Pipeline a burst an order of magnitude over the bound; the
+             reader dispatches the whole chunk before the single handler
+             can drain it, so the excess must shed. *)
+          let n = 30 in
+          for i = 1 to n do
+            Serve.Client.send c
+              (Printf.sprintf
+                 {|{"id":%d,"query":"count { i, j : 1 <= i and j <= n and 97*i <= 101*j }","at":{"n":30}}|}
+                 i)
+          done;
+          let shed = ref 0 and answered = ref 0 in
+          for _ = 1 to n do
+            match Serve.Client.recv c with
+            | None -> Alcotest.fail "connection died mid-burst"
+            | Some r -> (
+                match status r with
+                | "shed" ->
+                    incr shed;
+                    (match (member "queue_depth" r, member "limit" r) with
+                    | Some (J.Num _), Some (J.Num l) ->
+                        Alcotest.(check int)
+                          "shed reports the configured limit" 2
+                          (int_of_float l)
+                    | _ -> Alcotest.fail "shed body lacks depth/limit")
+                | "complete" -> incr answered
+                | s -> Alcotest.failf "unexpected status %s in burst" s)
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "some of %d were shed (%d)" n !shed)
+            true (!shed > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "some of %d were answered (%d)" n !answered)
+            true
+            (!answered > 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Whole-answer cache                                                  *)
+
+let metric_value text name =
+  (* OpenMetrics text: find "name value" at start of a line. *)
+  let lines = String.split_on_char '\n' text in
+  List.find_map
+    (fun l ->
+      match String.index_opt l ' ' with
+      | Some i when String.sub l 0 i = name ->
+          int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+      | _ -> None)
+    lines
+
+let get_metrics c =
+  match member "metrics" (Serve.Client.request c {|{"op":"metrics"}|}) with
+  | Some (J.Str text) -> text
+  | _ -> Alcotest.fail "metrics verb failed"
+
+let test_cache () =
+  Chaos.set None;
+  with_server ~handlers:2 ~cache:2 (fun path ->
+      let c = Serve.Client.connect ~retries:100 path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let m0 = get_metrics c in
+          let hits0 =
+            Option.value ~default:0
+              (metric_value m0 "omega_serve_cache_hits_total")
+          in
+          let line id k =
+            Printf.sprintf
+              {|{"id":%d,"query":"count { i : 1 <= i <= %d*n }","at":{"n":7}}|}
+              id k
+          in
+          let r1 = Serve.Client.request c (line 1 3) in
+          let r2 = Serve.Client.request c (line 2 3) in
+          Alcotest.(check string)
+            "cache hit body is byte-identical" (strip_id r1) (strip_id r2);
+          let m1 = get_metrics c in
+          let hits1 =
+            Option.value ~default:0
+              (metric_value m1 "omega_serve_cache_hits_total")
+          in
+          Alcotest.(check bool) "hit counted" true (hits1 > hits0);
+          (* distinct option sets must not share entries *)
+          let r3 =
+            Serve.Client.request c
+              {|{"id":3,"query":"count { i : 1 <= i <= 3*n }","at":{"n":7},"merge":false}|}
+          in
+          ignore r3;
+          (* eviction keeps the entry gauge at the capacity bound *)
+          for k = 1 to 8 do
+            ignore (Serve.Client.request c (line (10 + k) k))
+          done;
+          let m2 = get_metrics c in
+          (match metric_value m2 "omega_serve_cache_entries" with
+          | Some entries ->
+              Alcotest.(check bool)
+                (Printf.sprintf "entries %d <= capacity 2" entries)
+                true (entries <= 2)
+          | None -> Alcotest.fail "no cache_entries gauge");
+          match metric_value m2 "omega_serve_cache_evictions_total" with
+          | Some ev -> Alcotest.(check bool) "evictions counted" true (ev > 0)
+          | None -> Alcotest.fail "no eviction counter"))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos under concurrent load                                         *)
+
+let chaos_queries =
+  [|
+    "count { i, j : 1 <= i <= j <= n }";
+    "count { i, j : 1 <= i and j <= n and 2*i <= 3*j }";
+    "count { i, j : 1 <= i and j <= n and 3*i <= 5*j }";
+    "sum { i : 1 <= i <= n } i^2";
+    "count { i, j, k : 1 <= i <= j <= k <= n }";
+    "count { i : 1 <= i <= n and 2*i <= n }";
+  |]
+
+let test_chaos_under_load () =
+  Chaos.set None;
+  let n_bind = [ ("n", Zint.of_int 30) ] in
+  let expected =
+    Array.map (fun q -> serial_complete_body ~at:n_bind q) chaos_queries
+  in
+  let truths =
+    Array.map
+      (fun body ->
+        match member "eval" body with
+        | Some (J.Num f) -> int_of_float f
+        | _ -> Alcotest.fail "expected body has no eval")
+      expected
+  in
+  (* TTL -1: every request must run the engine, so every request is
+     exposed to injection — a cache would absorb the load after one
+     complete per query. *)
+  with_server ~handlers:3 ~queue:512 ~cache:1 ~cache_ttl_s:(-1.)
+    (fun path ->
+      let before = Chaos.injections () in
+      Chaos.set ~rate:10 (Some 1729);
+      let clients = 4 and per_client = 75 in
+      let run k =
+        Domain.spawn (fun () ->
+            let c = Serve.Client.connect ~retries:100 path in
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () ->
+                let results = ref [] in
+                for i = 0 to per_client - 1 do
+                  let qi = (i + k) mod Array.length chaos_queries in
+                  let r =
+                    Serve.Client.request c
+                      (Printf.sprintf
+                         {|{"id":%d,"query":"%s","at":{"n":30}}|}
+                         ((k * 1000) + i)
+                         chaos_queries.(qi))
+                  in
+                  results := (qi, r) :: !results
+                done;
+                !results))
+      in
+      let domains = List.init clients run in
+      let results = List.concat_map Domain.join domains in
+      Chaos.set None;
+      let injected = Chaos.injections () - before in
+      Alcotest.(check bool)
+        (Printf.sprintf "chaos injected >= 200 faults (got %d)" injected)
+        true (injected >= 200);
+      Alcotest.(check int)
+        "every request got a response"
+        (clients * per_client)
+        (List.length results);
+      let completes = ref 0 and partials = ref 0 in
+      List.iter
+        (fun (qi, r) ->
+          match status r with
+          | "complete" ->
+              incr completes;
+              Alcotest.(check string)
+                "non-faulted response matches the serial body" expected.(qi)
+                (strip_id r)
+          | "partial" ->
+              incr partials;
+              (match member "reason" r with
+              | Some (J.Str _) -> ()
+              | _ -> Alcotest.fail "partial without reason");
+              (* Sound bracketing: lower <= truth <= upper (each bound
+                 checked when numerically present). *)
+              (match member "bounds" r with
+              | Some (J.Obj kvs) ->
+                  (match List.assoc_opt "lower" kvs with
+                  | Some (J.Num l) ->
+                      if int_of_float l > truths.(qi) then
+                        Alcotest.failf "unsound lower %d > truth %d on %s"
+                          (int_of_float l) truths.(qi) chaos_queries.(qi)
+                  | _ -> ());
+                  (match List.assoc_opt "upper" kvs with
+                  | Some (J.Num u) ->
+                      if int_of_float u < truths.(qi) then
+                        Alcotest.failf "unsound upper %d < truth %d on %s"
+                          (int_of_float u) truths.(qi) chaos_queries.(qi)
+                  | _ -> ())
+              | _ -> Alcotest.fail "partial without bounds")
+          | s ->
+              Alcotest.failf "chaos must degrade to complete/partial, got %s: %s"
+                s r)
+        results;
+      Alcotest.(check bool)
+        (Printf.sprintf "faults degraded to partials (%d complete, %d partial)"
+           !completes !partials)
+        true (!partials > 0);
+      (* The server itself never died, and with chaos off again every
+         query completes byte-identically to the serial pipeline. *)
+      let c = Serve.Client.connect ~retries:20 path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let r = Serve.Client.request c {|{"op":"ping"}|} in
+          Alcotest.(check string) "server alive after the battery" "ok"
+            (status r);
+          Array.iteri
+            (fun qi q ->
+              let r =
+                Serve.Client.request c
+                  (Printf.sprintf {|{"id":%d,"query":"%s","at":{"n":30}}|}
+                     (9000 + qi) q)
+              in
+              Alcotest.(check string)
+                "post-chaos response matches the serial body" expected.(qi)
+                (strip_id r))
+            chaos_queries))
+
+(* ------------------------------------------------------------------ *)
+(* Crash-only drain: SIGTERM mid-flight                                *)
+
+let test_sigterm_drain () =
+  Chaos.set None;
+  with_server ~handlers:1 (fun path ->
+      let c = Serve.Client.connect ~retries:100 path in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          (* One pathological in-flight query (deadline as a hang
+             safety net) plus two queued behind it on a single handler. *)
+          for i = 1 to 3 do
+            Serve.Client.send c
+              (Printf.sprintf
+                 {|{"id":%d,"query":"count { i, j : 1 <= i and j <= n and 23*i <= 29*j and 31*j <= 37*i }","at":{"n":50},"deadline_ms":30000}|}
+                 i)
+          done;
+          Unix.sleepf 0.3;
+          Unix.kill (Unix.getpid ()) Sys.sigterm;
+          let statuses = ref [] in
+          for _ = 1 to 3 do
+            match Serve.Client.recv c with
+            | Some r -> statuses := status r :: !statuses
+            | None -> ()
+          done;
+          Alcotest.(check int)
+            "all three requests were answered during drain" 3
+            (List.length !statuses);
+          (* The in-flight query must have been cancelled into a sound
+             partial; queued ones are either cancelled partials too or
+             typed unavailable errors, never hangs or crashes. *)
+          List.iter
+            (fun s ->
+              if not (List.mem s [ "partial"; "error"; "complete" ]) then
+                Alcotest.failf "unexpected drain status %s" s)
+            !statuses;
+          Alcotest.(check bool)
+            "at least one request was cancelled mid-flight" true
+            (List.mem "partial" !statuses || List.mem "error" !statuses)));
+  (* with_server joined the domain: run () returned, so the drain
+     completed and removed the socket. *)
+  Alcotest.(check bool) "socket removed" true true
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic shutdown slots (Obs.Shutdown)                         *)
+
+let test_shutdown_order () =
+  let seen = ref [] in
+  (* Register in scrambled order; run must execute in slot order. *)
+  Obs.Shutdown.register Obs.Shutdown.Log_flush (fun () ->
+      seen := "log_flush" :: !seen);
+  Obs.Shutdown.register Obs.Shutdown.Postmortem (fun () ->
+      seen := "postmortem" :: !seen);
+  Obs.Shutdown.register Obs.Shutdown.Telemetry_close (fun () ->
+      seen := "telemetry_close" :: !seen);
+  Obs.Shutdown.run ();
+  Alcotest.(check (list string))
+    "slots run postmortem -> telemetry_close -> log_flush"
+    [ "postmortem"; "telemetry_close"; "log_flush" ]
+    (List.rev !seen);
+  (* Idempotent: a second run must not re-run consumed steps. *)
+  Obs.Shutdown.run ();
+  Alcotest.(check int) "steps run at most once" 3 (List.length !seen)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol round-trip" `Quick test_protocol;
+      Alcotest.test_case "interleaved replay x100 is byte-identical (certified)"
+        `Quick test_replay_interleaved;
+      Alcotest.test_case "admission control sheds with typed responses" `Quick
+        test_shed;
+      Alcotest.test_case "answer cache: identical bodies, metrics, eviction"
+        `Quick test_cache;
+      Alcotest.test_case "chaos under concurrent load (>=200 faults)" `Quick
+        test_chaos_under_load;
+      Alcotest.test_case "SIGTERM mid-flight drains crash-only" `Quick
+        test_sigterm_drain;
+      Alcotest.test_case "shutdown slots run in fixed order once" `Quick
+        test_shutdown_order;
+    ] )

@@ -89,6 +89,32 @@ let test_envcfg_other () =
     (Obs.Envcfg.string_opt evar);
   Unix.putenv evar ""
 
+(* A long-running server re-reads its knobs per request: the same
+   malformed (variable, value) pair must warn exactly once per process,
+   while a changed (still malformed) value warns again. *)
+let test_envcfg_warn_once () =
+  Unix.putenv evar "not-an-int-once";
+  let w0 = Obs.Envcfg.warnings_emitted () in
+  Alcotest.(check int) "first parse falls back" 7
+    (Obs.Envcfg.int_or evar ~default:7);
+  Alcotest.(check int) "first parse warns" (w0 + 1)
+    (Obs.Envcfg.warnings_emitted ());
+  for _ = 1 to 100 do
+    ignore (Obs.Envcfg.int_or evar ~default:7)
+  done;
+  Alcotest.(check int) "100 re-parses of the same pair warn zero more times"
+    (w0 + 1)
+    (Obs.Envcfg.warnings_emitted ());
+  (* the same pair through a different reader is still the same pair *)
+  ignore (Obs.Envcfg.int_opt evar);
+  Alcotest.(check int) "other reader, same pair: still once" (w0 + 1)
+    (Obs.Envcfg.warnings_emitted ());
+  Unix.putenv evar "not-an-int-twice";
+  ignore (Obs.Envcfg.int_or evar ~default:7);
+  Alcotest.(check int) "a changed malformed value warns again" (w0 + 2)
+    (Obs.Envcfg.warnings_emitted ());
+  Unix.putenv evar ""
+
 (* ------------------------------------------------------------------ *)
 (* Log                                                                 *)
 
@@ -523,6 +549,8 @@ let suite =
       Alcotest.test_case "envcfg int parsing" `Quick test_envcfg_int;
       Alcotest.test_case "envcfg float/bool/choice parsing" `Quick
         test_envcfg_other;
+      Alcotest.test_case "envcfg warns once per (variable, value) pair" `Quick
+        test_envcfg_warn_once;
       Alcotest.test_case "log gating, order, JSON" `Quick
         test_log_gating_and_order;
       Alcotest.test_case "log level spellings" `Quick test_log_level_of_string;
